@@ -1,0 +1,26 @@
+//! Criterion companion to Figure 10: ablation stages on a skewed graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_bench::experiments::fig10::{measure_stage, Stage};
+use sage_bench::experiments::AppKind;
+use sage_bench::BenchConfig;
+use sage_graph::datasets::Dataset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::test_config();
+    let csr = Dataset::Twitter.generate(0.05);
+    let mut group = c.benchmark_group("fig10/ablation_bfs");
+    group.sample_size(10);
+    for stage in Stage::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stage.name()),
+            &stage,
+            |b, &s| b.iter(|| black_box(measure_stage(&cfg, s, &csr, AppKind::Bfs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion companion to Figure 6: SAGE traversal wall-clock on the
+//! different node orders (micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::Device;
+use sage::app::Bfs;
+use sage::engine::ResidentEngine;
+use sage::{DeviceGraph, Runner};
+use sage_graph::datasets::Dataset;
+use sage_graph::reorder::{gorder_order, rcm_order};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let csr = Dataset::Twitter.generate(0.05);
+    let orders = [
+        ("original", csr.clone()),
+        ("rcm", rcm_order(&csr).apply_csr(&csr)),
+        ("gorder", gorder_order(&csr, 5).apply_csr(&csr)),
+    ];
+    let mut group = c.benchmark_group("fig6/bfs_by_order");
+    group.sample_size(10);
+    for (name, replica) in orders {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &replica, |b, g| {
+            b.iter(|| {
+                let mut dev = Device::default_device();
+                let dg = DeviceGraph::upload(&mut dev, g.clone());
+                let mut engine = ResidentEngine::new();
+                let mut app = Bfs::new(&mut dev);
+                black_box(Runner::new().run(&mut dev, &dg, &mut engine, &mut app, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion companion to Figure 7: BFS across engines (micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_bench::experiments::fig7::{measure_system, PgpSystem};
+use sage_bench::experiments::AppKind;
+use sage_bench::BenchConfig;
+use sage_graph::datasets::Dataset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::test_config();
+    let csr = Dataset::Twitter.generate(0.05);
+    let mut group = c.benchmark_group("fig7/bfs_by_engine");
+    group.sample_size(10);
+    for system in PgpSystem::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name()),
+            &system,
+            |b, &s| b.iter(|| black_box(measure_system(&cfg, s, &csr, AppKind::Bfs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

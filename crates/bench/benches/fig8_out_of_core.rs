@@ -1,0 +1,37 @@
+//! Criterion companion to Figure 8: out-of-core BFS, SAGE vs Subway.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::Device;
+use sage::app::Bfs;
+use sage::engine::SubwayEngine;
+use sage::ooc::sage_out_of_core;
+use sage::{DeviceGraph, Runner};
+use sage_graph::datasets::Dataset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let csr = Dataset::Ljournal.generate(0.05);
+    let mut group = c.benchmark_group("fig8/ooc_bfs");
+    group.sample_size(10);
+    group.bench_function("sage_ooc", |b| {
+        b.iter(|| {
+            let mut dev = Device::default_device();
+            let (g, mut engine) = sage_out_of_core(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            black_box(Runner::new().run(&mut dev, &g, &mut engine, &mut app, 0))
+        })
+    });
+    group.bench_function("subway", |b| {
+        b.iter(|| {
+            let mut dev = Device::default_device();
+            let mut engine = SubwayEngine::new(&mut dev, csr.num_edges());
+            let g = DeviceGraph::upload_host(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            black_box(Runner::new().run(&mut dev, &g, &mut engine, &mut app, 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion companion to Figure 9: multi-GPU BFS configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage::multigpu::{run_bfs_multi, MgKind, MultiGpuConfig};
+use sage_graph::datasets::Dataset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let csr = Dataset::Uk2002.generate(0.05);
+    let mut group = c.benchmark_group("fig9/multi_gpu_bfs");
+    group.sample_size(10);
+    for (name, kind, gpus, metis) in [
+        ("sage_x1", MgKind::Sage, 1, false),
+        ("sage_x2", MgKind::Sage, 2, false),
+        ("gunrock_x2", MgKind::Gunrock, 2, false),
+        ("gunrock_metis_x2", MgKind::Gunrock, 2, true),
+        ("groute_x2", MgKind::Groute, 2, false),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let cfg = MultiGpuConfig { gpus, kind, metis };
+                black_box(run_bfs_multi(&cfg, &csr, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the substrate: cache probes, coalescing, tile
+//! decomposition, permutation application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{AccessKind, Device, DeviceConfig, SectorCache};
+use sage_graph::datasets::Dataset;
+use sage_graph::reorder::Permutation;
+use std::hint::black_box;
+
+fn bench_cache_probe(c: &mut Criterion) {
+    let mut cache = SectorCache::new(49152, 16, 4);
+    let mut i = 0u64;
+    c.bench_function("substrate/l2_probe", |b| {
+        b.iter(|| {
+            i = (i + 97) % 100_000;
+            black_box(cache.access(i))
+        })
+    });
+}
+
+fn bench_warp_access(c: &mut Criterion) {
+    let mut dev = Device::new(DeviceConfig::default());
+    let addrs: Vec<u64> = (0..32).map(|i| 4096 + i * 128).collect();
+    c.bench_function("substrate/warp_access_scattered", |b| {
+        b.iter(|| {
+            let mut k = dev.launch("bench");
+            k.access(0, AccessKind::Read, black_box(&addrs), 4);
+            black_box(k.finish())
+        })
+    });
+}
+
+fn bench_permutation_apply(c: &mut Criterion) {
+    let csr = Dataset::Ljournal.generate(0.05);
+    let perm = Permutation::random(csr.num_nodes(), 1);
+    c.bench_function("substrate/permutation_apply_csr", |b| {
+        b.iter(|| black_box(perm.apply_csr(&csr)))
+    });
+}
+
+criterion_group!(benches, bench_cache_probe, bench_warp_access, bench_permutation_apply);
+criterion_main!(benches);

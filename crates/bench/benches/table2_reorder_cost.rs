@@ -1,0 +1,24 @@
+//! Criterion companion to Table 2: wall-clock of each reordering method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage_graph::datasets::Dataset;
+use sage_graph::reorder::{gorder_order, llp_order, rcm_order, LlpParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let csr = Dataset::Ljournal.generate(0.05);
+    let mut group = c.benchmark_group("table2/reorder_cost");
+    group.sample_size(10);
+    group.bench_function("rcm", |b| b.iter(|| black_box(rcm_order(&csr))));
+    group.bench_function("llp", |b| {
+        b.iter(|| black_box(llp_order(&csr, &LlpParams::default())))
+    });
+    group.bench_function("gorder", |b| b.iter(|| black_box(gorder_order(&csr, 5))));
+    group.bench_function("sage_round", |b| {
+        b.iter(|| black_box(sage_bench::experiments::table2::sage_round_seconds(&csr)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

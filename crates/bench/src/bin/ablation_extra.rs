@@ -1,0 +1,10 @@
+//! Extension ablations: MIN_TILE_SIZE, block size, tile alignment, and
+//! sampling-threshold sweeps (see `experiments::ablation_extra`).
+
+fn main() {
+    let cfg = sage_bench::BenchConfig::from_env();
+    eprintln!("running extension ablations at scale {} ...", cfg.scale);
+    for t in sage_bench::experiments::ablation_extra::run(&cfg) {
+        println!("{}", t.to_text());
+    }
+}

@@ -1,0 +1,53 @@
+//! Run the entire evaluation suite (every table and figure of §7) and write
+//! a Markdown report next to the console output.
+//!
+//! ```text
+//! SAGE_SCALE=1.0 SAGE_SOURCES=3 SAGE_ROUNDS=30 \
+//!     cargo run --release -p sage-bench --bin all_experiments [report.md]
+//! ```
+
+use sage_bench::experiments;
+use sage_bench::{BenchConfig, ExpTable};
+use std::time::Instant;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let report_path = std::env::args().nth(1);
+    let mut md = String::new();
+    md.push_str(&format!(
+        "# SAGE evaluation suite\n\nscale {}, {} sources, {} reordering rounds\n\n",
+        cfg.scale, cfg.sources, cfg.rounds
+    ));
+
+    let mut emit = |tables: Vec<ExpTable>| {
+        for t in tables {
+            println!("{}", t.to_text());
+            md.push_str(&t.to_markdown());
+            md.push('\n');
+        }
+    };
+
+    let t0 = Instant::now();
+    eprintln!("[1/8] Table 1 ...");
+    emit(vec![experiments::table1::run(&cfg)]);
+    eprintln!("[2/8] Figure 6 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(experiments::fig6::run(&cfg));
+    eprintln!("[3/8] Table 2 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(vec![experiments::table2::run(&cfg)]);
+    eprintln!("[4/8] Figure 7 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(experiments::fig7::run(&cfg));
+    eprintln!("[5/8] Figure 8 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(vec![experiments::fig8::run(&cfg)]);
+    eprintln!("[6/8] Figure 9 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(vec![experiments::fig9::run(&cfg)]);
+    eprintln!("[7/8] Figure 10 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(experiments::fig10::run(&cfg));
+    eprintln!("[8/8] Table 3 ({:.0?} elapsed) ...", t0.elapsed());
+    emit(vec![experiments::table3::run(&cfg)]);
+    eprintln!("done in {:.0?}", t0.elapsed());
+
+    if let Some(path) = report_path {
+        std::fs::write(&path, md).expect("write report");
+        eprintln!("markdown report written to {path}");
+    }
+}

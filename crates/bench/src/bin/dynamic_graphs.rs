@@ -1,0 +1,8 @@
+//! Extension experiment: dynamic-graph update epochs — Gorder's full
+//! re-preprocessing vs SAGE's single re-adaptation round (§7.2 discussion).
+
+fn main() {
+    let cfg = sage_bench::BenchConfig::from_env();
+    eprintln!("running dynamic-graph experiment at scale {} ...", cfg.scale);
+    println!("{}", sage_bench::experiments::dynamic::run(&cfg).to_text());
+}

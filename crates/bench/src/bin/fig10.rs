@@ -1,0 +1,9 @@
+//! Regenerate Fig10 of the paper. See `sage-bench` crate docs for knobs.
+
+fn main() {
+    let cfg = sage_bench::BenchConfig::from_env();
+    eprintln!("running fig10 at scale {} ({} sources)...", cfg.scale, cfg.sources);
+    for t in sage_bench::experiments::fig10::run(&cfg) {
+        println!("{}", t.to_text());
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig6 of the paper. See `sage-bench` crate docs for knobs.
+
+fn main() {
+    let cfg = sage_bench::BenchConfig::from_env();
+    eprintln!("running fig6 at scale {} ({} sources)...", cfg.scale, cfg.sources);
+    for t in sage_bench::experiments::fig6::run(&cfg) {
+        println!("{}", t.to_text());
+    }
+}

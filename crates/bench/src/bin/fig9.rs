@@ -1,0 +1,8 @@
+//! Regenerate Fig9 of the paper. See `sage-bench` crate docs for knobs.
+
+fn main() {
+    let cfg = sage_bench::BenchConfig::from_env();
+    eprintln!("running fig9 at scale {} ({} sources)...", cfg.scale, cfg.sources);
+    let t = sage_bench::experiments::fig9::run(&cfg);
+    println!("{}", t.to_text());
+}

@@ -1,0 +1,8 @@
+//! Extension experiment: out-of-core strategy comparison (zero-copy vs
+//! UM pool vs Subway). See `experiments::ooc_ablation`.
+
+fn main() {
+    let cfg = sage_bench::BenchConfig::from_env();
+    eprintln!("running out-of-core ablation at scale {} ...", cfg.scale);
+    println!("{}", sage_bench::experiments::ooc_ablation::run(&cfg).to_text());
+}

@@ -1,0 +1,197 @@
+//! `sage_cli` — run any application on any graph with any engine.
+//!
+//! ```text
+//! sage_cli <app> [--graph FILE | --dataset NAME] [--engine NAME]
+//!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
+//!
+//!   app       bfs | bc | pr | cc | sssp | mis | kcore
+//!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
+//!   --dataset uk-2002 | brain | ljournal | twitter | friendster
+//!   --engine  sage (default) | sage-tp | naive | b40c | tigr | gunrock | ligra
+//!   --source  source node id (default 0)
+//!   --scale   dataset scale when --dataset is used (default 0.2)
+//!   --repeat  runs to average (default 1; resident tiles warm up across runs)
+//!   --out-of-core  place the graph in host memory behind PCIe
+//!   --profile print Nsight-style counters after the run
+//! ```
+//!
+//! Example:
+//! ```text
+//! cargo run --release -p sage-bench --bin sage_cli -- bfs --dataset twitter --repeat 3 --profile
+//! ```
+
+use gpu_sim::Device;
+use sage::app::{App, Bc, Bfs, Cc, KCore, Mis, PageRank, Sssp};
+use sage::engine::{
+    B40cEngine, Engine, GunrockEngine, LigraEngine, NaiveEngine, ResidentEngine, SubwayEngine,
+    TiledPartitioningEngine, TigrEngine,
+};
+use sage::{DeviceGraph, Runner};
+use sage_graph::datasets::Dataset;
+use sage_graph::{io, Csr};
+use std::path::Path;
+use std::process::exit;
+
+struct Args {
+    app: String,
+    graph: Option<String>,
+    dataset: Option<String>,
+    engine: String,
+    source: u32,
+    scale: f64,
+    repeat: usize,
+    out_of_core: bool,
+    profile: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sage_cli <bfs|bc|pr|cc|sssp|mis|kcore> [--graph FILE | --dataset NAME] \
+         [--engine sage|sage-tp|naive|b40c|tigr|gunrock|ligra] [--source N] \
+         [--scale F] [--repeat N] [--out-of-core] [--profile]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let app = argv.next().unwrap_or_else(|| usage());
+    if !["bfs", "bc", "pr", "cc", "sssp", "mis", "kcore"].contains(&app.as_str()) {
+        eprintln!("unknown app {app:?}");
+        usage();
+    }
+    let mut args = Args {
+        app,
+        graph: None,
+        dataset: None,
+        engine: "sage".into(),
+        source: 0,
+        scale: 0.2,
+        repeat: 1,
+        out_of_core: false,
+        profile: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--graph" => args.graph = Some(value("--graph")),
+            "--dataset" => args.dataset = Some(value("--dataset")),
+            "--engine" => args.engine = value("--engine"),
+            "--source" => args.source = value("--source").parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--repeat" => args.repeat = value("--repeat").parse().unwrap_or_else(|_| usage()),
+            "--out-of-core" => args.out_of_core = true,
+            "--profile" => args.profile = true,
+            _ => {
+                eprintln!("unknown flag {flag:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn load_graph(args: &Args) -> Csr {
+    if let Some(path) = &args.graph {
+        let p = Path::new(path);
+        let file = std::fs::File::open(p).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            exit(1)
+        });
+        let result = if path.ends_with(".sagecsr") {
+            io::read_csr_binary(file)
+        } else {
+            io::read_edge_list(file)
+        };
+        result.unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        })
+    } else if let Some(name) = &args.dataset {
+        let d = Dataset::ALL
+            .iter()
+            .find(|d| d.name() == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown dataset {name:?}");
+                usage()
+            });
+        d.generate(args.scale)
+    } else {
+        eprintln!("one of --graph or --dataset is required");
+        usage()
+    }
+}
+
+fn make_engine(name: &str, dev: &mut Device, csr: &Csr) -> Box<dyn Engine> {
+    match name {
+        "sage" => Box::new(ResidentEngine::new()),
+        "sage-tp" => Box::new(TiledPartitioningEngine::new()),
+        "naive" => Box::new(NaiveEngine::new()),
+        "b40c" => Box::new(B40cEngine::new()),
+        "tigr" => Box::new(TigrEngine::new(dev, csr)),
+        "gunrock" => Box::new(GunrockEngine::new()),
+        "ligra" => Box::new(LigraEngine::new()),
+        other => {
+            eprintln!("unknown engine {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let csr = load_graph(&args);
+    println!(
+        "graph: {} nodes, {} edges | engine: {} | app: {}{}",
+        csr.num_nodes(),
+        csr.num_edges(),
+        args.engine,
+        args.app,
+        if args.out_of_core { " | out-of-core" } else { "" }
+    );
+    if (args.source as usize) >= csr.num_nodes() {
+        eprintln!("source {} out of range", args.source);
+        exit(1);
+    }
+
+    let mut dev = Device::default_device();
+    let mut engine: Box<dyn Engine> = if args.out_of_core && args.engine == "subway" {
+        Box::new(SubwayEngine::new(&mut dev, csr.num_edges()))
+    } else {
+        make_engine(&args.engine, &mut dev, &csr)
+    };
+    let g = if args.out_of_core {
+        DeviceGraph::upload_host(&mut dev, csr)
+    } else {
+        DeviceGraph::upload(&mut dev, csr)
+    };
+
+    let mut app: Box<dyn App> = match args.app.as_str() {
+        "bfs" => Box::new(Bfs::new(&mut dev)),
+        "bc" => Box::new(Bc::new(&mut dev)),
+        "pr" => Box::new(PageRank::with_defaults(&mut dev)),
+        "cc" => Box::new(Cc::new(&mut dev)),
+        "sssp" => Box::new(Sssp::new(&mut dev)),
+        "mis" => Box::new(Mis::new(&mut dev)),
+        "kcore" => Box::new(KCore::new(&mut dev)),
+        _ => unreachable!(),
+    };
+
+    let runner = Runner::new();
+    for i in 0..args.repeat.max(1) {
+        let r = runner.run(&mut dev, &g, engine.as_mut(), app.as_mut(), args.source);
+        println!("run {i}: {r}");
+    }
+    if args.profile {
+        println!("\nprofiler:\n{}", dev.profiler());
+        println!("\nkernel breakdown:");
+        for (name, launches, secs) in dev.kernel_breakdown() {
+            println!("  {name:<22} {launches:>6} launches  {:>10.3} ms", secs * 1e3);
+        }
+    }
+}

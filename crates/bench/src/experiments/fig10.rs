@@ -1,0 +1,142 @@
+//! Figure 10: ablation — apply SAGE's techniques incrementally:
+//! baseline (thread-per-vertex) → +Tiled Partitioning → +Resident Tile
+//! Stealing → +Sampling-based Reordering (§7.3).
+
+use crate::experiments::AppKind;
+use crate::harness::{measure, BenchConfig, Measurement};
+use crate::table::{fmt_gteps, ExpTable};
+use sage::engine::{Engine, NaiveEngine, ResidentEngine, TiledPartitioningEngine};
+use sage::{DeviceGraph, SageRuntime};
+use sage_graph::datasets::Dataset;
+use sage_graph::Csr;
+
+/// The ablation stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// No technique: thread-per-vertex.
+    Baseline,
+    /// + Tiled Partitioning (Algorithm 2).
+    TiledPartitioning,
+    /// + Resident Tile Stealing (Algorithm 3).
+    ResidentStealing,
+    /// + Sampling-based Reordering (§6).
+    SamplingReordering,
+}
+
+impl Stage {
+    /// All stages, cumulative order.
+    pub const ALL: [Stage; 4] = [
+        Stage::Baseline,
+        Stage::TiledPartitioning,
+        Stage::ResidentStealing,
+        Stage::SamplingReordering,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Baseline => "Base",
+            Stage::TiledPartitioning => "+TP",
+            Stage::ResidentStealing => "+RTS",
+            Stage::SamplingReordering => "+SR",
+        }
+    }
+}
+
+/// Measure one ablation stage on one dataset/application.
+#[must_use]
+pub fn measure_stage(
+    cfg: &BenchConfig,
+    stage: Stage,
+    csr: &Csr,
+    app_kind: AppKind,
+) -> Measurement {
+    let sources_seed = 0xf10;
+    match stage {
+        Stage::SamplingReordering => {
+            let mut dev = cfg.device();
+            let sources = cfg.pick_sources(csr, sources_seed);
+            let mut rt = SageRuntime::new(&mut dev, csr.clone());
+            let mut app = app_kind.make(&mut dev, cfg);
+            for round in 0..cfg.rounds.min(10) {
+                let _ = rt.run(&mut dev, app.as_mut(), sources[round % sources.len()]);
+                rt.maybe_reorder(&mut dev);
+                if rt.converged() {
+                    break;
+                }
+            }
+            let mut m = Measurement::empty();
+            for &s in &sources {
+                let r = rt.run(&mut dev, app.as_mut(), s);
+                m.add(&r);
+            }
+            m
+        }
+        _ => {
+            let mut dev = cfg.device();
+            let sources = cfg.pick_sources(csr, sources_seed);
+            let mut engine: Box<dyn Engine> = match stage {
+                Stage::Baseline => Box::new(NaiveEngine::new()),
+                Stage::TiledPartitioning => Box::new(TiledPartitioningEngine::new()),
+                _ => Box::new(ResidentEngine::new()),
+            };
+            let g = DeviceGraph::upload(&mut dev, csr.clone());
+            let mut app = app_kind.make(&mut dev, cfg);
+            measure(&mut dev, &g, engine.as_mut(), app.as_mut(), &sources)
+        }
+    }
+}
+
+/// Regenerate Figure 10: one table per application.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> Vec<ExpTable> {
+    let mut tables: Vec<ExpTable> = AppKind::ALL
+        .iter()
+        .map(|a| {
+            ExpTable::new(
+                format!("Figure 10 — Ablation, {} (GTEPS)", a.name()),
+                &["Dataset", "Base", "+TP", "+RTS", "+SR"],
+            )
+        })
+        .collect();
+
+    for d in Dataset::ALL {
+        let csr = d.generate(cfg.scale);
+        for (ai, app) in AppKind::ALL.iter().enumerate() {
+            let mut cells = vec![d.name().to_owned()];
+            for stage in Stage::ALL {
+                let m = measure_stage(cfg, stage, &csr, *app);
+                cells.push(fmt_gteps(m.gteps()));
+            }
+            tables[ai].row(cells);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_stages_improve_on_skewed_graph() {
+        let cfg = BenchConfig::test_config();
+        let csr = Dataset::Twitter.generate(0.1);
+        let base = measure_stage(&cfg, Stage::Baseline, &csr, AppKind::Bfs).gteps();
+        let tp = measure_stage(&cfg, Stage::TiledPartitioning, &csr, AppKind::Bfs).gteps();
+        let rts = measure_stage(&cfg, Stage::ResidentStealing, &csr, AppKind::Bfs).gteps();
+        assert!(tp > base, "TP ({tp}) must beat baseline ({base})");
+        assert!(rts > tp, "RTS ({rts}) must beat TP ({tp})");
+    }
+
+    #[test]
+    fn fig10_shape() {
+        let cfg = BenchConfig::test_config();
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 6: SAGE traversal speed on reordered graph replicas —
+//! Original (= SAGE₁), RCM, LLP, Gorder, and SAGE after self-adaptive
+//! rounds (SAGE₁₀₀ in the paper; `SAGE_ROUNDS` here).
+//!
+//! All bars use the SAGE traversal engine; only the node order differs,
+//! isolating the memory-locality effect of each reordering (§7.2).
+
+use crate::experiments::AppKind;
+use crate::harness::{measure, BenchConfig, Measurement};
+use crate::table::{fmt_gteps, ExpTable};
+use sage::engine::ResidentEngine;
+use sage::{DeviceGraph, SageRuntime};
+use sage_graph::datasets::Dataset;
+use sage_graph::reorder::{gorder_order, llp_order, rcm_order, LlpParams, Permutation};
+use sage_graph::Csr;
+
+/// Measure SAGE on one fixed replica.
+fn measure_replica(cfg: &BenchConfig, csr: &Csr, app_kind: AppKind, source_seed: u64) -> Measurement {
+    let mut dev = cfg.device();
+    let sources = cfg.pick_sources(csr, source_seed);
+    let g = DeviceGraph::upload(&mut dev, csr.clone());
+    let mut engine = ResidentEngine::new();
+    let mut app = app_kind.make(&mut dev, cfg);
+    measure(&mut dev, &g, &mut engine, app.as_mut(), &sources)
+}
+
+/// Measure SAGE after `rounds` self-adaptive reordering rounds driven by the
+/// same application.
+fn measure_self_adaptive(
+    cfg: &BenchConfig,
+    csr: &Csr,
+    app_kind: AppKind,
+    rounds: usize,
+    source_seed: u64,
+) -> Measurement {
+    let mut dev = cfg.device();
+    let sources = cfg.pick_sources(csr, source_seed);
+    let mut rt = SageRuntime::new(&mut dev, csr.clone());
+    let mut app = app_kind.make(&mut dev, cfg);
+    // adaptation phase: the sampling threshold is |E| (§7.2), so roughly one
+    // full traversal saturates a stage
+    for round in 0..rounds {
+        let src = sources[round % sources.len()];
+        let _ = rt.run(&mut dev, app.as_mut(), src);
+        rt.maybe_reorder(&mut dev);
+        if rt.converged() {
+            break;
+        }
+    }
+    // measurement phase
+    let mut m = Measurement::empty();
+    for &s in &sources {
+        let r = rt.run(&mut dev, app.as_mut(), s);
+        m.add(&r);
+    }
+    m
+}
+
+/// The orders evaluated by Figure 6, computed once per dataset.
+pub struct Orders {
+    /// RCM permutation.
+    pub rcm: Permutation,
+    /// LLP permutation.
+    pub llp: Permutation,
+    /// Gorder permutation (window 5).
+    pub gorder: Permutation,
+}
+
+/// Compute all baseline orders for a graph.
+#[must_use]
+pub fn baseline_orders(csr: &Csr) -> Orders {
+    Orders {
+        rcm: rcm_order(csr),
+        llp: llp_order(csr, &LlpParams::default()),
+        gorder: gorder_order(csr, 5),
+    }
+}
+
+/// Regenerate Figure 6: one table per application.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> Vec<ExpTable> {
+    let sage_n = format!("SAGE_{}", cfg.rounds + 1);
+    let mut tables: Vec<ExpTable> = AppKind::ALL
+        .iter()
+        .map(|a| {
+            ExpTable::new(
+                format!("Figure 6 — {} traversal speed by node order (GTEPS)", a.name()),
+                &["Dataset", "SAGE_1", "RCM", "LLP", "Gorder", sage_n.as_str()],
+            )
+        })
+        .collect();
+
+    for d in Dataset::ALL {
+        let csr = d.generate(cfg.scale);
+        let orders = baseline_orders(&csr);
+        let replicas = [
+            ("SAGE_1", csr.clone()),
+            ("RCM", orders.rcm.apply_csr(&csr)),
+            ("LLP", orders.llp.apply_csr(&csr)),
+            ("Gorder", orders.gorder.apply_csr(&csr)),
+        ];
+        for (ai, app) in AppKind::ALL.iter().enumerate() {
+            let mut cells = vec![d.name().to_owned()];
+            for (_, replica) in &replicas {
+                let m = measure_replica(cfg, replica, *app, 0xf16);
+                cells.push(fmt_gteps(m.gteps()));
+            }
+            let m = measure_self_adaptive(cfg, &csr, *app, cfg.rounds, 0xf16);
+            cells.push(fmt_gteps(m.gteps()));
+            tables[ai].row(cells);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_produces_three_tables_with_five_rows() {
+        let cfg = BenchConfig::test_config();
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 5);
+            assert_eq!(t.header.len(), 6);
+        }
+    }
+
+    #[test]
+    fn self_adaptive_not_slower_than_original_on_social_graph() {
+        let cfg = BenchConfig {
+            rounds: 5,
+            ..BenchConfig::test_config()
+        };
+        let csr = Dataset::Twitter.generate(cfg.scale);
+        let base = measure_replica(&cfg, &csr, AppKind::Bfs, 1).gteps();
+        let adapted = measure_self_adaptive(&cfg, &csr, AppKind::Bfs, cfg.rounds, 1).gteps();
+        assert!(
+            adapted > base * 0.9,
+            "adaptation should not hurt: {base} -> {adapted}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 8: the out-of-core scenario — BFS with the graph in host memory
+//! behind PCIe; SAGE's tile-aligned on-demand access vs Subway's active-
+//! subgraph preloading.
+//!
+//! The paper's footnote 6 is reproduced: the open-source Subway crashes on
+//! `brain`, so its cell reads `n/a`.
+
+use crate::harness::{measure, BenchConfig};
+use crate::table::{fmt_gteps, ExpTable};
+use sage::app::Bfs;
+use sage::engine::SubwayEngine;
+use sage::ooc::sage_out_of_core;
+use sage::DeviceGraph;
+use sage_graph::datasets::Dataset;
+
+/// Regenerate Figure 8.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        format!("Figure 8 — Out-of-core BFS over PCIe (GTEPS, scale {})", cfg.scale),
+        &["Dataset", "Subway", "SAGE"],
+    );
+    for d in Dataset::ALL {
+        let csr = d.generate(cfg.scale);
+        let sources = cfg.pick_sources(&csr, 0xf18);
+
+        let subway_cell = if d == Dataset::Brain {
+            // footnote 6: "The open-source implementation of Subway will
+            // crash in brain."
+            "n/a (crashes)".to_owned()
+        } else {
+            let mut dev = cfg.device();
+            let mut engine = SubwayEngine::new(&mut dev, csr.num_edges());
+            let g = DeviceGraph::upload_host(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            let m = measure(&mut dev, &g, &mut engine, &mut app, &sources);
+            fmt_gteps(m.gteps())
+        };
+
+        let sage_cell = {
+            let mut dev = cfg.device();
+            let (g, mut engine) = sage_out_of_core(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            let m = measure(&mut dev, &g, &mut engine, &mut app, &sources);
+            fmt_gteps(m.gteps())
+        };
+
+        t.row(vec![d.name().to_owned(), subway_cell, sage_cell]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_has_all_datasets_with_brain_footnote() {
+        let t = run(&BenchConfig::test_config());
+        assert_eq!(t.rows.len(), 5);
+        let brain = t.rows.iter().find(|r| r[0] == "brain").unwrap();
+        assert!(brain[1].contains("n/a"));
+        // SAGE has a number on every dataset
+        for r in &t.rows {
+            assert!(r[2].parse::<f64>().is_ok(), "SAGE cell numeric: {:?}", r);
+        }
+    }
+}

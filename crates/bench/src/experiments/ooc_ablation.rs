@@ -1,0 +1,71 @@
+//! Extension experiment: the three out-of-core strategies §3.3 discusses —
+//! on-demand zero-copy (SAGE), a unified-memory page pool (HALO/UM-style),
+//! and Subway's active-subgraph preloading — across pool sizes.
+
+use crate::harness::{measure, BenchConfig};
+use crate::table::{fmt_gteps, ExpTable};
+use sage::app::Bfs;
+use sage::engine::SubwayEngine;
+use sage::ooc::{sage_out_of_core, UmOocEngine};
+use sage::DeviceGraph;
+use sage_graph::datasets::Dataset;
+
+/// BFS GTEPS per out-of-core strategy.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        "Out-of-core strategies — BFS (GTEPS)",
+        &["Dataset", "SAGE zero-copy", "UM pool 10%", "UM pool 50%", "Subway"],
+    );
+    for d in [Dataset::Uk2002, Dataset::Ljournal, Dataset::Twitter] {
+        let csr = d.generate(cfg.scale);
+        let sources = cfg.pick_sources(&csr, 0x00c);
+        let mut cells = vec![d.name().to_owned()];
+
+        let zero_copy = {
+            let mut dev = cfg.device();
+            let (g, mut eng) = sage_out_of_core(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            measure(&mut dev, &g, &mut eng, &mut app, &sources).gteps()
+        };
+        cells.push(fmt_gteps(zero_copy));
+
+        for frac in [0.1, 0.5] {
+            let mut dev = cfg.device();
+            let mut eng = UmOocEngine::new(&csr, frac, 4096);
+            let g = DeviceGraph::upload_host(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            cells.push(fmt_gteps(
+                measure(&mut dev, &g, &mut eng, &mut app, &sources).gteps(),
+            ));
+        }
+
+        let subway = {
+            let mut dev = cfg.device();
+            let mut eng = SubwayEngine::new(&mut dev, csr.num_edges());
+            let g = DeviceGraph::upload_host(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            measure(&mut dev, &g, &mut eng, &mut app, &sources).gteps()
+        };
+        cells.push(fmt_gteps(subway));
+
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_produce_numbers() {
+        let t = run(&BenchConfig::test_config());
+        assert_eq!(t.rows.len(), 3);
+        for r in &t.rows {
+            for c in &r[1..] {
+                assert!(c.parse::<f64>().unwrap() > 0.0);
+            }
+        }
+    }
+}

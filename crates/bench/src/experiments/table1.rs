@@ -1,0 +1,41 @@
+//! Table 1: statistics of the (scaled) datasets.
+
+use crate::harness::BenchConfig;
+use crate::table::ExpTable;
+use sage_graph::datasets::Dataset;
+use sage_graph::stats::GraphStats;
+
+/// Regenerate Table 1 at the configured scale.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        format!("Table 1 — Statistics of Datasets (scale {})", cfg.scale),
+        &["Dataset", "Category", "|V|", "|E|", "|E|/|V|", "max deg", "deg CV"],
+    );
+    for d in Dataset::ALL {
+        let g = d.generate(cfg.scale);
+        let s = GraphStats::compute(&g);
+        t.row(vec![
+            d.name().to_owned(),
+            d.category().to_owned(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            format!("{:.1}", s.avg_degree),
+            s.max_degree.to_string(),
+            format!("{:.2}", s.degree_cv),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows() {
+        let t = run(&BenchConfig::test_config());
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.to_text().contains("twitter"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 2: wall-clock cost of each reordering method, and SAGE's per-round
+//! cost. The paper's ordering to reproduce: Gorder's cost explodes on the
+//! skewed social graphs (hub-quadratic Gscore updates), LLP is expensive
+//! everywhere, RCM is cheap, and one SAGE round costs orders of magnitude
+//! less than any preprocessing pass.
+
+use crate::harness::BenchConfig;
+use crate::table::{fmt_seconds, ExpTable};
+use gpu_sim::Device;
+use sage::app::Bfs;
+use sage::SageRuntime;
+use sage_graph::datasets::Dataset;
+use sage_graph::reorder::{gorder_order, llp_order, rcm_order, LlpParams};
+use std::time::Instant;
+
+/// Wall-clock seconds of one SAGE round: one sampled traversal's sampling
+/// share plus the stage-2/3 computation and the representation update.
+#[must_use]
+pub fn sage_round_seconds(csr: &sage_graph::Csr) -> f64 {
+    let mut dev = Device::default_device();
+    let mut rt = SageRuntime::new(&mut dev, csr.clone());
+    let mut app = Bfs::new(&mut dev);
+    let _ = rt.run(&mut dev, &mut app, 0); // saturate the sampler
+    let t0 = Instant::now();
+    let _ = rt.force_reorder(&mut dev);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Regenerate Table 2.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        format!("Table 2 — Time Consumption of Reordering (scale {})", cfg.scale),
+        &["Dataset", "RCM", "LLP", "Gorder", "SAGE per round"],
+    );
+    for d in Dataset::ALL {
+        let csr = d.generate(cfg.scale);
+        let time = |f: &dyn Fn()| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        };
+        let rcm = time(&|| {
+            let _ = rcm_order(&csr);
+        });
+        let llp = time(&|| {
+            let _ = llp_order(&csr, &LlpParams::default());
+        });
+        let gorder = time(&|| {
+            let _ = gorder_order(&csr, 5);
+        });
+        let sage = sage_round_seconds(&csr);
+        t.row(vec![
+            d.name().to_owned(),
+            fmt_seconds(rcm),
+            fmt_seconds(llp),
+            fmt_seconds(gorder),
+            fmt_seconds(sage),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_and_ordering() {
+        let cfg = BenchConfig::test_config();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 5);
+    }
+
+    #[test]
+    fn sage_round_is_cheaper_than_gorder() {
+        let csr = Dataset::Twitter.generate(0.05);
+        let t0 = Instant::now();
+        let _ = gorder_order(&csr, 5);
+        let gorder = t0.elapsed().as_secs_f64();
+        let sage = sage_round_seconds(&csr);
+        assert!(
+            sage < gorder,
+            "one SAGE round ({sage}) must be cheaper than Gorder ({gorder})"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 3: Tiled Partitioning cost out of the total running time — the
+//! expansion/scheduling share of SAGE's runtime per dataset and
+//! application.
+
+use crate::experiments::AppKind;
+use crate::harness::{measure, BenchConfig};
+use crate::table::ExpTable;
+use sage::engine::ResidentEngine;
+use sage::DeviceGraph;
+use sage_graph::datasets::Dataset;
+
+/// Regenerate Table 3.
+#[must_use]
+pub fn run(cfg: &BenchConfig) -> ExpTable {
+    let mut t = ExpTable::new(
+        format!(
+            "Table 3 — Tiled Partitioning cost out of running time (ms, scale {})",
+            cfg.scale
+        ),
+        &["Dataset", "BFS", "BC", "PR"],
+    );
+    for d in Dataset::ALL {
+        let csr = d.generate(cfg.scale);
+        let mut cells = vec![d.name().to_owned()];
+        for app_kind in AppKind::ALL {
+            let mut dev = cfg.device();
+            let sources = cfg.pick_sources(&csr, 0x73);
+            let g = DeviceGraph::upload(&mut dev, csr.clone());
+            let mut engine = ResidentEngine::new();
+            let mut app = app_kind.make(&mut dev, cfg);
+            let m = measure(&mut dev, &g, &mut engine, app.as_mut(), &sources);
+            cells.push(format!(
+                "{:.1}/{:.1} ({:.0}%)",
+                m.overhead_seconds / m.runs as f64 * 1e3,
+                m.seconds_per_run() * 1e3,
+                m.overhead_fraction() * 100.0
+            ));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_and_percentages() {
+        let t = run(&BenchConfig::test_config());
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            for c in &r[1..] {
+                assert!(c.contains('%'), "cell should contain a percentage: {c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # sage-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7):
+//!
+//! | Id | Content | Binary |
+//! |----|---------|--------|
+//! | Table 1 | dataset statistics | `table1` |
+//! | Figure 6 | SAGE on reordered replicas (Original/RCM/LLP/Gorder/SAGE₁/SAGE₁₀₀) | `fig6` |
+//! | Table 2 | reordering cost | `table2` |
+//! | Figure 7 | SAGE vs PGP baselines ± Gorder | `fig7` |
+//! | Figure 8 | out-of-core: SAGE vs Subway | `fig8` |
+//! | Figure 9 | multi-GPU: SAGE vs Gunrock/Groute ± metis | `fig9` |
+//! | Figure 10 | ablation: +TP, +RTS, +SR | `fig10` |
+//! | Table 3 | Tiled Partitioning overhead | `table3` |
+//!
+//! `all_experiments` runs the lot and emits a Markdown report.
+//!
+//! Environment knobs: `SAGE_SCALE` (dataset scale, default 1.0),
+//! `SAGE_SOURCES` (sources averaged per measurement, default 3),
+//! `SAGE_ROUNDS` (self-reordering rounds for the "SAGE_N" bars, default 30).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{BenchConfig, Measurement};
+pub use table::ExpTable;

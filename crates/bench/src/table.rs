@@ -1,0 +1,158 @@
+//! Plain-text / Markdown table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// One experiment's tabular result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpTable {
+    /// Experiment id and caption, e.g. `"Figure 6 — BFS"`.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub header: Vec<String>,
+    /// Rows: label + one cell per remaining header column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExpTable {
+    /// Start a table with the given title and headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Column widths needed for aligned text output.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}  ", c, width = w[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}  ", c, width = w[i]);
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as a Markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Format a GTEPS value with sensible precision.
+#[must_use]
+pub fn fmt_gteps(x: f64) -> String {
+    if x >= 10.0 {
+        format!("{x:.1}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format seconds with unit scaling.
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExpTable {
+        let mut t = ExpTable::new("Test", &["name", "a", "b"]);
+        t.row(vec!["x".into(), "1".into(), "2".into()]);
+        t.row(vec!["longer".into(), "3.5".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn text_render_contains_everything() {
+        let s = sample().to_text();
+        assert!(s.contains("== Test =="));
+        assert!(s.contains("longer"));
+        assert!(s.contains("3.5"));
+    }
+
+    #[test]
+    fn markdown_render_is_table() {
+        let s = sample().to_markdown();
+        assert!(s.contains("| name | a | b |"));
+        assert!(s.contains("|---|---|---|"));
+        assert!(s.contains("| x | 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = ExpTable::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_gteps(12.34), "12.3");
+        assert_eq!(fmt_gteps(1.234), "1.23");
+        assert_eq!(fmt_gteps(0.1234), "0.123");
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 us");
+    }
+}

@@ -1,0 +1,232 @@
+//! K-core decomposition by iterative peeling on the filter interface:
+//! nodes whose remaining degree falls below the current `k` are peeled;
+//! peeling a node decrements its neighbors' remaining degrees
+//! (`atomicSub`), which may cascade within the same k — the classic
+//! frontier-based formulation.
+
+use super::{App, Step};
+use crate::access::AccessRecorder;
+use gpu_sim::{Device, DeviceArray};
+use sage_graph::{Csr, NodeId};
+
+/// Core-number computation via peeling.
+pub struct KCore {
+    /// Remaining degree; peeled nodes hold 0.
+    rem: DeviceArray<u32>,
+    /// Assigned core number (k-1 at the k-round that peeled the node).
+    core: DeviceArray<u32>,
+    peeled: Vec<bool>,
+    k: u32,
+    n: usize,
+}
+
+impl KCore {
+    /// Create an uninitialised k-core app.
+    #[must_use]
+    pub fn new(dev: &mut Device) -> Self {
+        Self {
+            rem: dev.alloc_array(0, 0),
+            core: dev.alloc_array(0, 0),
+            peeled: Vec::new(),
+            k: 1,
+            n: 0,
+        }
+    }
+
+    /// Core numbers after a run.
+    #[must_use]
+    pub fn core_numbers(&self) -> &[u32] {
+        self.core.as_slice()
+    }
+
+    /// Nodes not yet peeled whose remaining degree is below `k`.
+    fn peelable(&self) -> Vec<NodeId> {
+        (0..self.n)
+            .filter(|&u| !self.peeled[u] && self.rem[u] < self.k)
+            .map(|u| u as NodeId)
+            .collect()
+    }
+}
+
+impl App for KCore {
+    fn name(&self) -> &'static str {
+        "kcore"
+    }
+
+    fn init(&mut self, dev: &mut Device, g: &Csr, _source: NodeId) -> Vec<NodeId> {
+        let n = g.num_nodes();
+        self.n = n;
+        if self.rem.len() != n {
+            self.rem = dev.alloc_array(n, 0);
+            self.core = dev.alloc_array(n, 0);
+        } else {
+            self.core.fill(0);
+        }
+        for u in 0..n {
+            self.rem[u] = g.degree(u as NodeId) as u32;
+        }
+        self.peeled = vec![false; n];
+        self.k = 1;
+        // mark the first wave as peeled up front so cascades don't re-peel
+        let first = self.peelable();
+        for &u in &first {
+            self.peeled[u as usize] = true;
+            self.core[u as usize] = self.k - 1;
+        }
+        if first.is_empty() {
+            // no zero-degree nodes; start the peeling loop via control
+            self.bump_k_frontier()
+        } else {
+            first
+        }
+    }
+
+    fn on_frontier(&mut self, frontier: NodeId, rec: &mut AccessRecorder) {
+        rec.read(self.rem.addr(frontier as usize));
+    }
+
+    fn filter(&mut self, _frontier: NodeId, neighbor: NodeId, rec: &mut AccessRecorder) -> bool {
+        let n = neighbor as usize;
+        rec.read(self.rem.addr(n));
+        if self.peeled[n] {
+            return false;
+        }
+        // atomicSub on the neighbor's remaining degree
+        self.rem[n] = self.rem[n].saturating_sub(1);
+        rec.atomic(self.rem.addr(n));
+        if self.rem[n] < self.k {
+            // cascades within the same k-round
+            self.peeled[n] = true;
+            self.core[n] = self.k - 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn control(&mut self, _iter: usize, contracted: Vec<NodeId>) -> Step {
+        if !contracted.is_empty() {
+            return Step::Frontier(contracted);
+        }
+        let next = self.bump_k_frontier();
+        if next.is_empty() {
+            Step::Done
+        } else {
+            Step::Frontier(next)
+        }
+    }
+}
+
+impl KCore {
+    /// Raise `k` until some node peels (or everything is peeled).
+    fn bump_k_frontier(&mut self) -> Vec<NodeId> {
+        while self.peeled.iter().any(|&p| !p) {
+            self.k += 1;
+            let wave = self.peelable();
+            if !wave.is_empty() {
+                for &u in &wave {
+                    self.peeled[u as usize] = true;
+                    self.core[u as usize] = self.k - 1;
+                }
+                return wave;
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ResidentEngine;
+    use crate::pipeline::Runner;
+    use crate::DeviceGraph;
+    use gpu_sim::DeviceConfig;
+    use sage_graph::gen::{social_graph, uniform_graph, SocialParams};
+
+    /// Sequential reference: repeated minimum-degree peeling.
+    fn reference_cores(g: &Csr) -> Vec<u32> {
+        let n = g.num_nodes();
+        let mut rem: Vec<u32> = (0..n).map(|u| g.degree(u as NodeId) as u32).collect();
+        let mut core = vec![0u32; n];
+        let mut peeled = vec![false; n];
+        let mut k = 0u32;
+        let mut left = n;
+        while left > 0 {
+            // peel everything with rem <= k, cascading
+            let mut progressed = false;
+            loop {
+                let wave: Vec<usize> = (0..n)
+                    .filter(|&u| !peeled[u] && rem[u] <= k)
+                    .collect();
+                if wave.is_empty() {
+                    break;
+                }
+                progressed = true;
+                for u in wave {
+                    peeled[u] = true;
+                    core[u] = k;
+                    left -= 1;
+                    for &v in g.neighbors(u as NodeId) {
+                        if !peeled[v as usize] {
+                            rem[v as usize] = rem[v as usize].saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                k += 1;
+            }
+        }
+        core
+    }
+
+    fn run_kcore(csr: &Csr) -> Vec<u32> {
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr.clone());
+        let mut engine = ResidentEngine::with_geometry(16, 4, true);
+        let mut app = KCore::new(&mut dev);
+        let _ = Runner::new().run(&mut dev, &g, &mut engine, &mut app, 0);
+        app.core_numbers().to_vec()
+    }
+
+    #[test]
+    fn matches_reference_on_uniform_graph() {
+        let csr = uniform_graph(200, 1200, 4);
+        assert_eq!(run_kcore(&csr), reference_cores(&csr));
+    }
+
+    #[test]
+    fn matches_reference_on_skewed_graph() {
+        let csr = social_graph(&SocialParams {
+            nodes: 400,
+            avg_deg: 10.0,
+            ..SocialParams::default()
+        });
+        assert_eq!(run_kcore(&csr), reference_cores(&csr));
+    }
+
+    #[test]
+    fn clique_has_core_n_minus_one() {
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let csr = Csr::from_edges(6, &edges);
+        assert!(run_kcore(&csr).iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn path_has_core_one_and_isolated_core_zero() {
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let cores = run_kcore(&csr);
+        assert_eq!(cores[0], 1);
+        assert_eq!(cores[1], 1);
+        assert_eq!(cores[2], 1);
+        assert_eq!(cores[3], 0, "isolated node is 0-core");
+    }
+}

@@ -1,0 +1,149 @@
+//! The graph as it sits in (simulated) device or host memory.
+//!
+//! SAGE's whole premise is operating on the ubiquitous CSR directly: load
+//! `u_offset` and `v` onto the device and answer queries immediately, no
+//! preprocessing (§1). [`DeviceGraph`] is that uploaded CSR — it pairs the
+//! functional [`Csr`] with the device (or host, for out-of-core) addresses
+//! of its two arrays so engines can charge their expansion traffic.
+
+use gpu_sim::Device;
+use sage_graph::{Csr, NodeId};
+
+/// Where the CSR arrays live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphPlacement {
+    /// Both arrays in device memory (single-GPU / multi-GPU scenarios).
+    Device,
+    /// Both arrays in host memory, accessed over PCIe (out-of-core).
+    Host,
+}
+
+/// A CSR uploaded to the simulated memory system.
+#[derive(Debug, Clone)]
+pub struct DeviceGraph {
+    csr: Csr,
+    offsets_base: u64,
+    targets_base: u64,
+    placement: GraphPlacement,
+}
+
+impl DeviceGraph {
+    /// Upload into device memory.
+    #[must_use]
+    pub fn upload(dev: &mut Device, csr: Csr) -> Self {
+        let offsets = dev.alloc_array::<u32>(csr.num_nodes() + 1, 0);
+        let targets = dev.alloc_array::<u32>(csr.num_edges().max(1), 0);
+        Self {
+            offsets_base: offsets.base(),
+            targets_base: targets.base(),
+            csr,
+            placement: GraphPlacement::Device,
+        }
+    }
+
+    /// Upload into *host* memory: every access becomes PCIe traffic
+    /// (out-of-core scenario, §3.3).
+    #[must_use]
+    pub fn upload_host(dev: &mut Device, csr: Csr) -> Self {
+        let offsets = dev.alloc_host_array::<u32>(csr.num_nodes() + 1, 0);
+        let targets = dev.alloc_host_array::<u32>(csr.num_edges().max(1), 0);
+        Self {
+            offsets_base: offsets.base(),
+            targets_base: targets.base(),
+            csr,
+            placement: GraphPlacement::Host,
+        }
+    }
+
+    /// The functional graph.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Where the arrays live.
+    #[must_use]
+    pub fn placement(&self) -> GraphPlacement {
+        self.placement
+    }
+
+    /// Address of `u_offset[u]`.
+    #[inline]
+    #[must_use]
+    pub fn offset_addr(&self, u: NodeId) -> u64 {
+        self.offsets_base + u64::from(u) * 4
+    }
+
+    /// Address of `v[idx]` (the target array).
+    #[inline]
+    #[must_use]
+    pub fn target_addr(&self, idx: u32) -> u64 {
+        self.targets_base + u64::from(idx) * 4
+    }
+
+    /// Replace the CSR (after a reordering round). The array addresses are
+    /// reused — the paper updates the representation in place.
+    ///
+    /// # Panics
+    /// Panics if node or edge counts change.
+    pub fn replace_csr(&mut self, csr: Csr) {
+        assert_eq!(csr.num_nodes(), self.csr.num_nodes(), "node count changed");
+        assert_eq!(csr.num_edges(), self.csr.num_edges(), "edge count changed");
+        self.csr = csr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+
+    fn graph() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3)])
+    }
+
+    #[test]
+    fn device_upload_addresses() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut d, graph());
+        assert_eq!(g.placement(), GraphPlacement::Device);
+        assert_eq!(g.offset_addr(1) - g.offset_addr(0), 4);
+        assert_eq!(g.target_addr(2) - g.target_addr(0), 8);
+        assert!(!gpu_sim::mem::is_host_addr(g.target_addr(0)));
+    }
+
+    #[test]
+    fn host_upload_lands_in_host_space() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload_host(&mut d, graph());
+        assert_eq!(g.placement(), GraphPlacement::Host);
+        assert!(gpu_sim::mem::is_host_addr(g.offset_addr(0)));
+        assert!(gpu_sim::mem::is_host_addr(g.target_addr(0)));
+    }
+
+    #[test]
+    fn replace_csr_keeps_addresses() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut g = DeviceGraph::upload(&mut d, graph());
+        let before = g.target_addr(0);
+        // a relabelled graph with the same counts
+        let perm = sage_graph::Permutation::random(4, 1);
+        g.replace_csr(perm.apply_csr(&graph()));
+        assert_eq!(g.target_addr(0), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count changed")]
+    fn replace_with_different_size_rejected() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut g = DeviceGraph::upload(&mut d, graph());
+        g.replace_csr(Csr::from_edges(4, &[(0, 1)]));
+    }
+
+    #[test]
+    fn empty_graph_uploads() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut d, Csr::from_edges(1, &[]));
+        assert_eq!(g.csr().num_edges(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Shared engine plumbing: charging CSR reads, gathering targets, running
+//! filters tile-by-tile.
+
+use crate::access::AccessRecorder;
+use crate::app::App;
+use crate::dgraph::DeviceGraph;
+use gpu_sim::{AccessKind, Kernel};
+use sage_graph::NodeId;
+
+/// Observes the node groups each tile accesses concurrently — the hook
+/// Sampling-based Reordering (§6, Algorithm 4) attaches to.
+pub trait TileObserver {
+    /// One concurrent tile access over `members` (the neighbor nodes whose
+    /// values the tile's lanes read together).
+    fn observe(&mut self, members: &[NodeId]);
+}
+
+/// A no-op observer.
+pub struct NoObserver;
+
+impl TileObserver for NoObserver {
+    fn observe(&mut self, _members: &[NodeId]) {}
+}
+
+/// Charge the `u_offset[f]`/`u_offset[f+1]` reads for a group of frontiers
+/// (each lane reads its frontier's range — two adjacent 4-byte words).
+pub fn charge_offset_reads(
+    k: &mut Kernel<'_>,
+    sm: usize,
+    g: &DeviceGraph,
+    frontiers: &[NodeId],
+    addr_scratch: &mut Vec<u64>,
+) {
+    let warp = k.cfg().warp_size;
+    for chunk in frontiers.chunks(warp) {
+        addr_scratch.clear();
+        for &f in chunk {
+            addr_scratch.push(g.offset_addr(f));
+            addr_scratch.push(g.offset_addr(f + 1));
+        }
+        k.access(sm, AccessKind::Read, addr_scratch, 4);
+    }
+}
+
+/// Gather `len` consecutive targets starting at CSR index `beg` with a tile
+/// of cooperating lanes, run the filter on each neighbor, flush the state
+/// accesses, and return the number of edges traversed.
+///
+/// The target reads are coalesced (consecutive indices); the filter's state
+/// accesses coalesce only as well as the neighbor ids are local — the gap
+/// Sampling-based Reordering closes.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_filter_range(
+    k: &mut Kernel<'_>,
+    sm: usize,
+    g: &DeviceGraph,
+    app: &mut dyn App,
+    frontier: NodeId,
+    beg: u32,
+    len: u32,
+    rec: &mut AccessRecorder,
+    next: &mut Vec<NodeId>,
+    observer: &mut dyn TileObserver,
+    addr_scratch: &mut Vec<u64>,
+) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let warp = k.cfg().warp_size as u32;
+    let targets = g.csr().targets();
+    let members = &targets[beg as usize..(beg + len) as usize];
+    observer.observe(members);
+
+    // coalesced target reads, one request per warp of lanes
+    let mut idx = beg;
+    while idx < beg + len {
+        let n = warp.min(beg + len - idx);
+        addr_scratch.clear();
+        for i in 0..n {
+            addr_scratch.push(g.target_addr(idx + i));
+        }
+        k.access(sm, AccessKind::Read, addr_scratch, 4);
+        idx += n;
+    }
+
+    for &nb in members {
+        if app.filter(frontier, nb, rec) {
+            next.push(nb);
+        }
+    }
+    rec.flush(k, sm);
+    u64::from(len)
+}
+
+/// Scattered gather: each lane holds its own `(frontier, csr_index)` pair
+/// (scan-based fragment handling, thread-per-vertex stepping). Target reads
+/// coalesce only accidentally.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_filter_scattered(
+    k: &mut Kernel<'_>,
+    sm: usize,
+    g: &DeviceGraph,
+    app: &mut dyn App,
+    pairs: &[(NodeId, u32)],
+    rec: &mut AccessRecorder,
+    next: &mut Vec<NodeId>,
+    addr_scratch: &mut Vec<u64>,
+) -> u64 {
+    let warp = k.cfg().warp_size;
+    let targets = g.csr().targets();
+    for chunk in pairs.chunks(warp) {
+        addr_scratch.clear();
+        for &(_, idx) in chunk {
+            addr_scratch.push(g.target_addr(idx));
+        }
+        k.access(sm, AccessKind::Read, addr_scratch, 4);
+        for &(f, idx) in chunk {
+            let nb = targets[idx as usize];
+            if app.filter(f, nb, rec) {
+                next.push(nb);
+            }
+        }
+        rec.flush(k, sm);
+    }
+    pairs.len() as u64
+}
+
+/// Charge the frontier-array writes and the prefix-scan of contraction
+/// (Figure 2's third stage): `kept` compacted entries written contiguously.
+pub fn charge_contraction(k: &mut Kernel<'_>, kept: usize, buffer_base: u64) {
+    let warp = k.cfg().warp_size;
+    let sms = k.num_sms();
+    let mut addrs: Vec<u64> = Vec::with_capacity(warp);
+    let mut written = 0usize;
+    let mut block = 0usize;
+    while written < kept {
+        let n = warp.min(kept - written);
+        addrs.clear();
+        for i in 0..n {
+            addrs.push(buffer_base + ((written + i) * 4) as u64);
+        }
+        let sm = block % sms;
+        k.exec(sm, 4, n, warp); // scan + ballot + compact
+        k.access(sm, AccessKind::Write, &addrs, 4);
+        written += n;
+        block += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Bfs;
+    use gpu_sim::{Device, DeviceConfig};
+    use sage_graph::Csr;
+
+    fn setup() -> (Device, DeviceGraph) {
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let csr = Csr::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)]);
+        let g = DeviceGraph::upload(&mut dev, csr);
+        (dev, g)
+    }
+
+    #[test]
+    fn gather_filter_range_traverses_and_charges() {
+        let (mut dev, g) = setup();
+        let mut app = Bfs::new(&mut dev);
+        let frontier = crate::app::App::init(&mut app, &mut dev, g.csr(), 0);
+        assert_eq!(frontier, vec![0]);
+        let mut rec = AccessRecorder::new();
+        let mut next = Vec::new();
+        let mut scratch = Vec::new();
+        let mut k = dev.launch("test");
+        let edges = gather_filter_range(
+            &mut k,
+            0,
+            &g,
+            &mut app,
+            0,
+            g.csr().offset(0),
+            g.csr().degree(0) as u32,
+            &mut rec,
+            &mut next,
+            &mut NoObserver,
+            &mut scratch,
+        );
+        let _ = k.finish();
+        assert_eq!(edges, 5);
+        assert_eq!(next, vec![1, 2, 3, 4, 5]);
+        assert!(dev.profiler().mem_requests > 0);
+    }
+
+    #[test]
+    fn scattered_gather_matches_range_semantics() {
+        let (mut dev, g) = setup();
+        let mut app = Bfs::new(&mut dev);
+        crate::app::App::init(&mut app, &mut dev, g.csr(), 0);
+        let pairs: Vec<(NodeId, u32)> = (0..5).map(|i| (0, g.csr().offset(0) + i)).collect();
+        let mut rec = AccessRecorder::new();
+        let mut next = Vec::new();
+        let mut scratch = Vec::new();
+        let mut k = dev.launch("test");
+        let edges =
+            gather_filter_scattered(&mut k, 0, &g, &mut app, &pairs, &mut rec, &mut next, &mut scratch);
+        let _ = k.finish();
+        assert_eq!(edges, 5);
+        assert_eq!(next.len(), 5);
+    }
+
+    #[test]
+    fn observer_sees_tile_members() {
+        struct Collect(Vec<Vec<NodeId>>);
+        impl TileObserver for Collect {
+            fn observe(&mut self, members: &[NodeId]) {
+                self.0.push(members.to_vec());
+            }
+        }
+        let (mut dev, g) = setup();
+        let mut app = Bfs::new(&mut dev);
+        crate::app::App::init(&mut app, &mut dev, g.csr(), 0);
+        let mut obs = Collect(Vec::new());
+        let mut rec = AccessRecorder::new();
+        let mut next = Vec::new();
+        let mut scratch = Vec::new();
+        let mut k = dev.launch("test");
+        gather_filter_range(
+            &mut k,
+            0,
+            &g,
+            &mut app,
+            0,
+            g.csr().offset(0),
+            5,
+            &mut rec,
+            &mut next,
+            &mut obs,
+            &mut scratch,
+        );
+        let _ = k.finish();
+        assert_eq!(obs.0, vec![vec![1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn zero_length_gather_is_free() {
+        let (mut dev, g) = setup();
+        let mut app = Bfs::new(&mut dev);
+        crate::app::App::init(&mut app, &mut dev, g.csr(), 0);
+        let mut rec = AccessRecorder::new();
+        let mut next = Vec::new();
+        let mut scratch = Vec::new();
+        let mut k = dev.launch("test");
+        let edges = gather_filter_range(
+            &mut k,
+            0,
+            &g,
+            &mut app,
+            0,
+            0,
+            0,
+            &mut rec,
+            &mut next,
+            &mut NoObserver,
+            &mut scratch,
+        );
+        let _ = k.finish();
+        assert_eq!(edges, 0);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn contraction_charges_writes() {
+        let (mut dev, _g) = setup();
+        let mut k = dev.launch("contract");
+        charge_contraction(&mut k, 100, 1 << 20);
+        let _ = k.finish();
+        assert!(dev.profiler().write_sectors > 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! **Resident Tile Stealing** — Algorithm 3 (§5.2), the full SAGE engine.
+//!
+//! Expansion happens in two kernels. `expandTiles` materialises each
+//! frontier's tiled partitions in device memory ("resident tiles"); a node
+//! whose tiles are already resident (revisited in a later iteration or a
+//! later run) skips the online scheduling entirely and just reads its
+//! records back. The consume kernel then lets *any* cooperative group of a
+//! matching size steal tiles from the globally-visible array: work is
+//! spread evenly over all SMs (fixing inter-SM imbalance) and every warp is
+//! an independent instruction stream (fixing the serialised-tile latency
+//! problem of Figure 4a).
+//!
+//! The engine optionally carries the Sampling-based Reordering observer
+//! (§6): each consumed tile's member nodes are reported to it.
+
+use super::common::{
+    charge_offset_reads, gather_filter_range, gather_filter_scattered, NoObserver, TileObserver,
+};
+use super::sage_tp::SECTOR_NODES;
+use super::{Engine, IterationOutput};
+use crate::access::AccessRecorder;
+use crate::app::App;
+use crate::dgraph::DeviceGraph;
+use crate::reorder::Sampler;
+use gpu_sim::tile::{charge_shfl, charge_vote};
+use gpu_sim::{AccessKind, Device, Tile};
+use sage_graph::NodeId;
+
+/// One resident tile: a `size`-wide slice of some node's adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRec {
+    /// First CSR index of the slice.
+    pub beg: u32,
+    /// Width (a power of two ≥ `min_tile`, or a fragment below it).
+    pub len: u32,
+}
+
+/// The Resident Tile Stealing engine (Tiled Partitioning + resident tiles).
+pub struct ResidentEngine {
+    /// Threads per block (bounds the largest tile).
+    pub block_size: usize,
+    /// `MIN_TILE_SIZE`.
+    pub min_tile: usize,
+    /// Align tiles to memory sectors (§5.3).
+    pub align_tiles: bool,
+    /// Resident tile records per node (`None` = not yet expanded).
+    records: Vec<Option<Box<[TileRec]>>>,
+    /// Device region holding the records (addresses only).
+    records_base: u64,
+    records_cursor: u64,
+    record_addr: Vec<u64>,
+    /// Optional Sampling-based Reordering observer.
+    pub sampler: Option<Sampler>,
+}
+
+impl Default for ResidentEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResidentEngine {
+    /// Paper-default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            block_size: 256,
+            min_tile: 8,
+            align_tiles: true,
+            records: Vec::new(),
+            records_base: 0,
+            records_cursor: 0,
+            record_addr: Vec::new(),
+            sampler: None,
+        }
+    }
+
+    /// Configure geometry.
+    #[must_use]
+    pub fn with_geometry(block_size: usize, min_tile: usize, align_tiles: bool) -> Self {
+        Self {
+            block_size,
+            min_tile,
+            align_tiles,
+            ..Self::new()
+        }
+    }
+
+    /// Fraction of nodes whose tiles are currently resident.
+    #[must_use]
+    pub fn resident_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records.iter().filter(|r| r.is_some()).count() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Decompose a degree range into power-of-two tiles plus a fragment.
+    fn decompose(&self, mut beg: u32, end: u32) -> Box<[TileRec]> {
+        let mut recs = Vec::new();
+        // sector alignment: peel the misaligned head into a fragment record
+        if self.align_tiles {
+            let mis = beg % SECTOR_NODES;
+            if mis != 0 && end - beg >= self.min_tile as u32 {
+                let peel = (SECTOR_NODES - mis).min(end - beg);
+                recs.push(TileRec { beg, len: peel });
+                beg += peel;
+            }
+        }
+        let mut rem = end - beg;
+        while rem >= self.min_tile as u32 {
+            let size = (1u32 << (31 - rem.leading_zeros())).min(self.block_size as u32);
+            recs.push(TileRec { beg, len: size });
+            beg += size;
+            rem -= size;
+        }
+        if rem > 0 {
+            recs.push(TileRec { beg, len: rem });
+        }
+        recs.into_boxed_slice()
+    }
+
+    fn ensure_capacity(&mut self, dev: &mut Device, n: usize) {
+        if self.records.len() < n {
+            self.records.resize(n, None);
+            self.record_addr.resize(n, 0);
+        }
+        if self.records_base == 0 {
+            // reserve a device region for the resident-tile context
+            let region = dev.alloc_array::<u64>(1, 0);
+            self.records_base = region.base();
+            self.records_cursor = region.base();
+        }
+    }
+}
+
+impl Engine for ResidentEngine {
+    fn name(&self) -> &'static str {
+        "SAGE"
+    }
+
+    fn iterate(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &[NodeId],
+    ) -> IterationOutput {
+        let sms = dev.cfg().num_sms;
+        let mut out = IterationOutput::default();
+        let mut rec = AccessRecorder::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        self.ensure_capacity(dev, g.csr().num_nodes());
+
+        // ---- kernel 1: expandTiles (Algorithm 3, lines 2-7) ----
+        let expand_start = dev.elapsed_seconds();
+        let mut work: Vec<(NodeId, TileRec)> = Vec::new();
+        let mut frags: Vec<(NodeId, u32)> = Vec::new();
+        {
+            let mut k = dev.launch("sage_expand_tiles");
+            k.set_concurrency(k.cfg().max_resident_warps as f64);
+            // expandTiles is plain data-parallel work: grid-stride it so
+            // every SM takes part even on small frontiers
+            let warp = k.cfg().warp_size;
+            let chunk_size = frontier
+                .len()
+                .div_ceil(2 * sms)
+                .clamp(warp, self.block_size.max(warp));
+            for (bi, chunk) in frontier.chunks(chunk_size).enumerate() {
+                let sm = bi % sms;
+                charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
+                for &f in chunk {
+                    app.on_frontier(f, &mut rec);
+                }
+                rec.flush(&mut k, sm);
+
+                for &f in chunk {
+                    let fi = f as usize;
+                    let deg = g.csr().degree(f) as u32;
+                    if deg == 0 {
+                        continue;
+                    }
+                    if self.records[fi].is_none() {
+                        // online scheduling: decompose and write the records
+                        let beg = g.csr().offset(f);
+                        let recs = self.decompose(beg, beg + deg);
+                        let bytes = recs.len() as u64 * 8;
+                        self.record_addr[fi] = self.records_cursor;
+                        self.records_cursor += bytes;
+                        // decomposition bookkeeping + record writes
+                        let w = k.cfg().warp_size;
+                        k.exec(sm, 2 + recs.len() as u64, 1, w);
+                        scratch.clear();
+                        for i in 0..recs.len() as u64 {
+                            scratch.push(self.record_addr[fi] + i * 8);
+                        }
+                        k.access(sm, AccessKind::Write, &scratch, 8);
+                        self.records[fi] = Some(recs);
+                    } else {
+                        // reuse: read the resident records back
+                        let len = self.records[fi].as_ref().map_or(0, |r| r.len());
+                        scratch.clear();
+                        for i in 0..len as u64 {
+                            scratch.push(self.record_addr[fi] + i * 8);
+                        }
+                        k.access(sm, AccessKind::Read, &scratch, 8);
+                    }
+                    for r in self.records[fi].as_ref().unwrap().iter() {
+                        if r.len >= self.min_tile as u32 {
+                            work.push((f, *r));
+                        } else {
+                            for idx in r.beg..r.beg + r.len {
+                                frags.push((f, idx));
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = k.finish();
+        }
+        // Table 3 reports the *scheduling* share; the fixed kernel-launch
+        // cost is not scheduling work, so it is excluded.
+        let launch_sec = dev.cfg().kernel_launch_cycles as f64 / dev.cfg().clock_hz;
+        out.overhead_seconds = (dev.elapsed_seconds() - expand_start - launch_sec).max(0.0);
+
+        // ---- kernel 2: consume by stealing (Algorithm 3, lines 9-20) ----
+        {
+            let mut k = dev.launch("sage_consume_tiles");
+            // every warp independently steals tiles: full occupancy
+            k.set_concurrency(k.cfg().max_resident_warps as f64);
+            // size-major order: CGs of each size drain their class
+            work.sort_unstable_by(|a, b| b.1.len.cmp(&a.1.len).then(a.1.beg.cmp(&b.1.beg)));
+            let mut sampler = self.sampler.take();
+            for (i, &(f, r)) in work.iter().enumerate() {
+                // fine-grained stealing: records are claimed device-wide
+                let sm = i % sms;
+                // line 12-13: vote + elect on the matching size class.
+                // Stealing from the globally-visible record array happens at
+                // warp granularity (an atomic claim plus an intra-warp
+                // broadcast), regardless of how wide the claimed tile is.
+                let warp = k.cfg().warp_size;
+                let tile = Tile::new((r.len as usize).next_power_of_two().clamp(2, warp));
+                charge_vote(&mut k, sm, tile);
+                charge_shfl(&mut k, sm, tile);
+                let obs: &mut dyn TileObserver = match sampler.as_mut() {
+                    Some(s) => s,
+                    None => &mut NoObserver,
+                };
+                out.edges += gather_filter_range(
+                    &mut k, sm, g, app, f, r.beg, r.len, &mut rec, &mut out.next, obs,
+                    &mut scratch,
+                );
+            }
+            self.sampler = sampler;
+            // fragments: scan-based gathering spread across SMs
+            let warp = k.cfg().warp_size;
+            for (ci, chunk) in frags.chunks(warp).enumerate() {
+                let sm = ci % sms;
+                out.edges += gather_filter_scattered(
+                    &mut k, sm, g, app, chunk, &mut rec, &mut out.next, &mut scratch,
+                );
+            }
+            let _ = k.finish();
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.records.clear();
+        self.record_addr.clear();
+        self.records_cursor = self.records_base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Bfs;
+    use crate::pipeline::Runner;
+    use crate::reference;
+    use gpu_sim::DeviceConfig;
+    use sage_graph::gen::{social_graph, SocialParams};
+
+    fn engine() -> ResidentEngine {
+        ResidentEngine::with_geometry(16, 4, true)
+    }
+
+    fn skewed() -> sage_graph::Csr {
+        social_graph(&SocialParams {
+            nodes: 500,
+            avg_deg: 12.0,
+            alpha: 1.9,
+            max_deg_frac: 0.2,
+            ..SocialParams::default()
+        })
+    }
+
+    #[test]
+    fn decompose_covers_range_exactly() {
+        let e = ResidentEngine::with_geometry(256, 8, false);
+        let recs = e.decompose(10, 10 + 300);
+        let total: u32 = recs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 300);
+        // contiguous, no overlap
+        let mut cur = 10;
+        for r in recs.iter() {
+            assert_eq!(r.beg, cur);
+            cur += r.len;
+        }
+        // 300 = 256 + 32 + 8 + fragment 4
+        let sizes: Vec<u32> = recs.iter().map(|r| r.len).collect();
+        assert_eq!(sizes, vec![256, 32, 8, 4]);
+    }
+
+    #[test]
+    fn decompose_with_alignment_peels_head() {
+        let e = ResidentEngine::with_geometry(256, 8, true);
+        let recs = e.decompose(3, 3 + 64);
+        assert_eq!(recs[0], TileRec { beg: 3, len: 5 }); // peel to sector boundary
+        assert_eq!(recs[1].beg % SECTOR_NODES, 0);
+        let total: u32 = recs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let csr = skewed();
+        let expect = reference::bfs_levels(&csr, 1);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = engine();
+        let _ = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 1);
+        assert_eq!(app.distances(), expect.as_slice());
+    }
+
+    #[test]
+    fn second_run_reuses_resident_tiles_and_is_faster() {
+        let csr = skewed();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut eng = engine();
+        let mut app = Bfs::new(&mut dev);
+        let r1 = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 1);
+        assert!(eng.resident_fraction() > 0.5, "most nodes expanded once");
+        let r2 = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 1);
+        assert!(
+            r2.seconds < r1.seconds,
+            "resident reuse should speed up the re-run: {} vs {}",
+            r2.seconds,
+            r1.seconds
+        );
+        assert!(
+            r2.overhead_seconds < r1.overhead_seconds,
+            "scheduling overhead should shrink on reuse"
+        );
+    }
+
+    #[test]
+    fn reset_clears_residency() {
+        let csr = skewed();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut eng = engine();
+        let mut app = Bfs::new(&mut dev);
+        let _ = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 1);
+        eng.reset();
+        assert_eq!(eng.resident_fraction(), 0.0);
+    }
+
+    #[test]
+    fn balances_sms_better_than_tp_on_skewed_frontier() {
+        // measure kernel imbalance via profiler cycles is indirect; instead
+        // compare total runtime on a very skewed graph
+        let csr = social_graph(&SocialParams {
+            nodes: 800,
+            avg_deg: 20.0,
+            alpha: 1.75,
+            max_deg_frac: 0.4,
+            ..SocialParams::default()
+        });
+        let run = |resident: bool| {
+            let mut dev = Device::new(DeviceConfig::test_tiny());
+            let g = DeviceGraph::upload(&mut dev, csr.clone());
+            let mut app = Bfs::new(&mut dev);
+            if resident {
+                let mut e = engine();
+                Runner::new().run(&mut dev, &g, &mut e, &mut app, 0).seconds
+            } else {
+                let mut e = crate::engine::TiledPartitioningEngine {
+                    block_size: 16,
+                    min_tile: 4,
+                    align_tiles: true,
+                };
+                Runner::new().run(&mut dev, &g, &mut e, &mut app, 0).seconds
+            }
+        };
+        let rts = run(true);
+        let tp = run(false);
+        assert!(
+            rts < tp,
+            "resident tile stealing ({rts}) should beat plain TP ({tp})"
+        );
+    }
+}

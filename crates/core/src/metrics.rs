@@ -1,0 +1,122 @@
+//! Run reports and throughput metrics.
+//!
+//! The paper measures graph traversal speed in **billion edges per second**
+//! (GTEPS); this module carries per-run accounting from engines to the
+//! experiment harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of one traversal run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Application name (bfs / bc / pr / ...).
+    pub app: String,
+    /// Engine name (sage / b40c / tigr / ...).
+    pub engine: String,
+    /// Pipeline iterations executed (BFS levels, PR rounds, ...).
+    pub iterations: usize,
+    /// Edges traversed (filter invocations).
+    pub edges: u64,
+    /// Simulated wall-clock seconds.
+    pub seconds: f64,
+    /// Simulated seconds spent in scheduling overhead (tiled partitioning
+    /// elections/partitions) — the numerator of Table 3.
+    pub overhead_seconds: f64,
+}
+
+impl RunReport {
+    /// Billion traversed edges per second — the paper's headline metric.
+    #[must_use]
+    pub fn gteps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.edges as f64 / self.seconds / 1e9
+        }
+    }
+
+    /// Scheduling overhead as a fraction of total runtime (Table 3).
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.overhead_seconds / self.seconds
+        }
+    }
+
+    /// Merge another run into an aggregate (for multi-source averaging).
+    pub fn accumulate(&mut self, other: &RunReport) {
+        self.iterations += other.iterations;
+        self.edges += other.edges;
+        self.seconds += other.seconds;
+        self.overhead_seconds += other.overhead_seconds;
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} iters, {} edges, {:.3} ms, {:.3} GTEPS",
+            self.app,
+            self.engine,
+            self.iterations,
+            self.edges,
+            self.seconds * 1e3,
+            self.gteps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(edges: u64, seconds: f64) -> RunReport {
+        RunReport {
+            app: "bfs".into(),
+            engine: "test".into(),
+            iterations: 3,
+            edges,
+            seconds,
+            overhead_seconds: 0.1 * seconds,
+        }
+    }
+
+    #[test]
+    fn gteps_computation() {
+        let r = report(2_000_000_000, 1.0);
+        assert!((r.gteps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_gteps() {
+        let r = report(100, 0.0);
+        assert_eq!(r.gteps(), 0.0);
+        assert_eq!(r.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let r = report(100, 2.0);
+        assert!((r.overhead_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = report(100, 1.0);
+        a.accumulate(&report(50, 0.5));
+        assert_eq!(a.edges, 150);
+        assert!((a.seconds - 1.5).abs() < 1e-12);
+        assert_eq!(a.iterations, 6);
+    }
+
+    #[test]
+    fn display_contains_metric() {
+        let r = report(1000, 0.001);
+        let s = format!("{r}");
+        assert!(s.contains("GTEPS"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The node-centric processing pipeline of Figure 2:
+//! **expansion → filtering → contraction**, iterated over double-buffered
+//! frontier queues until the application converges.
+
+use crate::app::{App, Step};
+use crate::dgraph::DeviceGraph;
+use crate::engine::common::charge_contraction;
+use crate::engine::Engine;
+use crate::metrics::RunReport;
+use gpu_sim::{AccessKind, Device};
+use sage_graph::NodeId;
+
+/// Runs applications through an engine on a device.
+pub struct Runner {
+    /// Hard cap on iterations (safety net against non-converging filters).
+    pub max_iterations: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100_000,
+        }
+    }
+}
+
+impl Runner {
+    /// A runner with default limits.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute one full traversal of `app` from `source` and report
+    /// simulated timing.
+    pub fn run(
+        &self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        engine: &mut dyn Engine,
+        app: &mut dyn App,
+        source: NodeId,
+    ) -> RunReport {
+        let start = dev.elapsed_seconds();
+        // double-buffered frontier queues (charged at contraction)
+        let frontier_buf = dev.alloc_array::<u32>(g.csr().num_nodes().max(1), 0);
+        let mut frontier = app.init(dev, g.csr(), source);
+
+        let mut iterations = 0usize;
+        let mut edges = 0u64;
+        let mut overhead = 0.0f64;
+
+        while iterations < self.max_iterations {
+            if frontier.is_empty() {
+                break;
+            }
+            let out = engine.iterate(dev, g, app, &frontier);
+            edges += out.edges;
+            overhead += out.overhead_seconds;
+            iterations += 1;
+
+            // contraction: compact, dedup, write the next frontier queue
+            let mut next = out.next;
+            next.sort_unstable();
+            next.dedup();
+            let mut k = dev.launch("contract");
+            charge_contraction(&mut k, next.len(), frontier_buf.base());
+            let _ = k.finish();
+
+            // end-of-iteration vertex kernel (e.g. PageRank rank update)
+            let epilogue_ops = app.iteration_epilogue();
+            if epilogue_ops > 0 {
+                self.charge_vertex_kernel(dev, epilogue_ops, frontier_buf.base());
+            }
+
+            match app.control(iterations, next) {
+                Step::Done => break,
+                Step::Frontier(f) => frontier = f,
+            }
+        }
+
+        RunReport {
+            app: app.name().to_owned(),
+            engine: engine.name().to_owned(),
+            iterations,
+            edges,
+            seconds: dev.elapsed_seconds() - start,
+            overhead_seconds: overhead,
+        }
+    }
+
+    /// Charge a streaming per-vertex kernel of `ops` contiguous 4-byte
+    /// element operations, spread evenly over the SMs.
+    fn charge_vertex_kernel(&self, dev: &mut Device, ops: u64, base: u64) {
+        let sms = dev.cfg().num_sms;
+        let warp = dev.cfg().warp_size as u64;
+        let mut k = dev.launch("vertex_epilogue");
+        let per_sm = ops.div_ceil(sms as u64);
+        let mut addrs: Vec<u64> = Vec::with_capacity(warp as usize);
+        for sm in 0..sms {
+            let n = per_sm.min(ops.saturating_sub(sm as u64 * per_sm));
+            if n == 0 {
+                break;
+            }
+            k.exec_uniform(sm, n.div_ceil(warp) * 2);
+            // one coalesced access per warp of elements
+            let mut done = 0u64;
+            while done < n {
+                let c = warp.min(n - done);
+                addrs.clear();
+                for i in 0..c {
+                    addrs.push(base + (done + i) * 4);
+                }
+                k.access(sm, AccessKind::Read, &addrs, 4);
+                done += c;
+            }
+        }
+        let _ = k.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Bc, Bfs, Cc, PageRank, Sssp};
+    use crate::engine::NaiveEngine;
+    use crate::reference;
+    use gpu_sim::DeviceConfig;
+    use sage_graph::gen::uniform_graph;
+    use sage_graph::Csr;
+
+    fn small_graph() -> Csr {
+        uniform_graph(300, 1500, 3)
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let csr = small_graph();
+        let expect = reference::bfs_levels(&csr, 5);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let report = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 5);
+        assert_eq!(app.distances(), expect.as_slice());
+        assert!(report.edges > 0);
+        assert!(report.seconds > 0.0);
+        assert!(report.gteps() > 0.0);
+    }
+
+    #[test]
+    fn bc_matches_reference() {
+        let csr = small_graph();
+        let (sigma_ref, delta_ref) = reference::bc_scores(&csr, 2);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Bc::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let _ = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 2);
+        for (i, (&s, &sr)) in app.sigmas().iter().zip(&sigma_ref).enumerate() {
+            assert!(
+                (f64::from(s) - sr).abs() < 1e-3 * sr.max(1.0),
+                "sigma[{i}]: {s} vs {sr}"
+            );
+        }
+        for (i, (&d, &dr)) in app.scores().iter().zip(&delta_ref).enumerate() {
+            assert!(
+                (f64::from(d) - dr).abs() < 1e-2 * dr.max(1.0),
+                "delta[{i}]: {d} vs {dr}"
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let csr = small_graph();
+        let expect = reference::pagerank(&csr, 20);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = PageRank::new(&mut dev, 20, 0.0);
+        let mut eng = NaiveEngine::new();
+        let report = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(report.iterations, 20);
+        for (i, (&p, &pr)) in app.ranks().iter().zip(&expect).enumerate() {
+            assert!(
+                (f64::from(p) - pr).abs() < 1e-4 + 1e-2 * pr,
+                "pr[{i}]: {p} vs {pr}"
+            );
+        }
+    }
+
+    #[test]
+    fn cc_matches_reference() {
+        let csr = small_graph();
+        let expect = reference::cc_labels(&csr);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Cc::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let _ = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(app.labels(), expect.as_slice());
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let csr = small_graph();
+        let expect = reference::sssp_dists(&csr, 7);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Sssp::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let _ = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 7);
+        assert_eq!(app.distances(), expect.as_slice());
+    }
+
+    #[test]
+    fn run_report_names_app_and_engine() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let r = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(r.app, "bfs");
+        assert_eq!(r.engine, "ThreadPerVertex");
+        // three iterations: {0} -> {1} -> {2} -> empty
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.edges, 2);
+    }
+
+    #[test]
+    fn source_with_no_edges_terminates_immediately() {
+        let csr = Csr::from_edges(3, &[(1, 2)]);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let r = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(r.edges, 0);
+        assert!(r.iterations <= 1);
+    }
+}

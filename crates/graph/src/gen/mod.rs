@@ -1,0 +1,113 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on five real datasets (Table 1). Those exact crawls
+//! are not redistributable here, so each dataset family is replaced by a
+//! generator that reproduces the topological properties the paper's analysis
+//! attributes its results to:
+//!
+//! * [`web`] — crawl-ordered hierarchical web graphs ("relatively regular
+//!   hierarchy", high locality in id order, moderate uniform-ish degrees);
+//! * [`brain`] — spatially-embedded near-regular graphs with very high
+//!   average degree ("clear hierarchical structure and uniform outdegree
+//!   distribution");
+//! * [`social`] — community-structured power-law graphs with a tunable skew
+//!   and super-nodes, delivered in *scrambled* id order (social crawls have
+//!   no useful id locality, which is why reordering helps them most);
+//! * [`rmat`] — Kronecker-style R-MAT for generic stress tests;
+//! * [`uniform`] — Erdős–Rényi G(n, m) for unit tests.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod brain;
+pub mod rmat;
+pub mod social;
+pub mod uniform;
+pub mod web;
+
+pub use brain::brain_graph;
+pub use rmat::rmat_graph;
+pub use social::{social_graph, SocialParams};
+pub use uniform::uniform_graph;
+pub use web::web_graph;
+
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample a truncated discrete Pareto (power-law) degree:
+/// `P(deg >= x) ~ x^(1 - alpha)`, clamped to `[min_deg, max_deg]`.
+pub(crate) fn powerlaw_degree(rng: &mut StdRng, alpha: f64, min_deg: f64, max_deg: f64) -> usize {
+    debug_assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    let d = min_deg * u.powf(-1.0 / (alpha - 1.0));
+    d.min(max_deg).max(min_deg) as usize
+}
+
+/// A random permutation of `0..n` (Fisher–Yates).
+pub(crate) fn random_permutation(rng: &mut StdRng, n: usize) -> Vec<NodeId> {
+    let mut p: Vec<NodeId> = (0..n as NodeId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn powerlaw_degrees_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let d = powerlaw_degree(&mut rng, 2.0, 2.0, 1000.0);
+            assert!((2..=1000).contains(&d));
+        }
+    }
+
+    #[test]
+    fn powerlaw_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let degs: Vec<usize> = (0..50_000)
+            .map(|_| powerlaw_degree(&mut rng, 2.0, 2.0, 100_000.0))
+            .collect();
+        let max = *degs.iter().max().unwrap();
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(
+            max as f64 > mean * 50.0,
+            "power law should produce heavy tail: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn lower_alpha_is_more_skewed() {
+        let sample = |alpha: f64| {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..50_000)
+                .map(|_| powerlaw_degree(&mut rng, alpha, 2.0, 1e9))
+                .max()
+                .unwrap()
+        };
+        assert!(sample(1.8) > sample(3.0));
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = random_permutation(&mut rng, 1000);
+        let mut seen = vec![false; 1000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+
+    #[test]
+    fn permutation_deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(random_permutation(&mut a, 100), random_permutation(&mut b, 100));
+    }
+}

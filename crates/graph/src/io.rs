@@ -1,0 +1,372 @@
+//! Edge-list text and binary graph IO.
+//!
+//! The text format is the de-facto standard of SNAP / NetworkRepository
+//! dumps: one `u v` pair per line, `#`- or `%`-prefixed comment lines.
+//! The binary format is a little-endian dump of the CSR arrays with a magic
+//! header — loading it is O(read), matching the paper's "load CSR, answer
+//! queries immediately" workflow.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::{EdgeIdx, NodeId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary CSR format.
+pub const CSR_MAGIC: &[u8; 8] = b"SAGECSR1";
+
+/// Parse an edge list from a reader.
+///
+/// # Errors
+/// Returns an IO error or a parse error (as `InvalidData`) on malformed
+/// lines.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Csr> {
+    let mut coo = Coo::new(0);
+    let mut max_node: i64 = -1;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<NodeId> {
+            s.ok_or_else(|| bad_line(lineno, t))?
+                .parse::<NodeId>()
+                .map_err(|_| bad_line(lineno, t))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_node = max_node.max(i64::from(u)).max(i64::from(v));
+        edges.push((u, v));
+    }
+    coo.num_nodes = (max_node + 1) as usize;
+    for (u, v) in edges {
+        coo.push(u, v);
+    }
+    coo.normalize();
+    Ok(Csr::from_sorted_coo(&coo))
+}
+
+fn bad_line(lineno: usize, line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge at line {}: {line:?}", lineno + 1),
+    )
+}
+
+/// Write a graph as an edge list.
+///
+/// # Errors
+/// Propagates IO errors.
+pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Load an edge-list file.
+///
+/// # Errors
+/// Propagates IO and parse errors.
+pub fn load_edge_list(path: &Path) -> io::Result<Csr> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph in the binary CSR format.
+///
+/// # Errors
+/// Propagates IO errors.
+pub fn write_csr_binary<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(CSR_MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a graph from the binary CSR format.
+///
+/// # Errors
+/// Returns `InvalidData` on a bad magic, truncated input, or invariant
+/// violations in the stored arrays.
+pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CSR_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+
+    let mut buf4 = [0u8; 4];
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf4)?;
+        offsets.push(EdgeIdx::from_le_bytes(buf4));
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        targets.push(NodeId::from_le_bytes(buf4));
+    }
+    Csr::from_parts(offsets, targets)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parse a MatrixMarket coordinate file (`%%MatrixMarket matrix coordinate
+/// ... general|symmetric`), the standard distribution format of
+/// SuiteSparse graphs. Entries are 1-indexed; values (weights) are ignored;
+/// `symmetric` matrices are mirrored.
+///
+/// # Errors
+/// Returns `InvalidData` on a malformed header or entry.
+pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Csr> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+    if !header.starts_with("%%MatrixMarket matrix coordinate") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("not a MatrixMarket coordinate header: {header:?}"),
+        ));
+    }
+    let symmetric = header.contains("symmetric");
+
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut coo = Coo::new(0);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        if dims.is_none() {
+            let parse = |s: Option<&str>| -> io::Result<usize> {
+                s.ok_or_else(|| bad_line(lineno, t))?
+                    .parse::<usize>()
+                    .map_err(|_| bad_line(lineno, t))
+            };
+            let rows = parse(it.next())?;
+            let cols = parse(it.next())?;
+            let nnz = parse(it.next())?;
+            dims = Some((rows, cols, nnz));
+            coo.num_nodes = rows.max(cols);
+            continue;
+        }
+        let parse = |s: Option<&str>| -> io::Result<u64> {
+            s.ok_or_else(|| bad_line(lineno, t))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno, t))
+        };
+        let r = parse(it.next())?;
+        let c = parse(it.next())?;
+        if r == 0 || c == 0 || r as usize > coo.num_nodes || c as usize > coo.num_nodes {
+            return Err(bad_line(lineno, t));
+        }
+        // 1-indexed; weights (third column) ignored
+        coo.push((r - 1) as NodeId, (c - 1) as NodeId);
+        if symmetric {
+            coo.push((c - 1) as NodeId, (r - 1) as NodeId);
+        }
+    }
+    if dims.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "missing dimension line",
+        ));
+    }
+    coo.normalize();
+    Ok(Csr::from_sorted_coo(&coo))
+}
+
+/// Parse a DIMACS graph file (`p <type> <nodes> <edges>` header, `a`/`e`
+/// edge lines, `c` comments). Node ids are 1-indexed; arc weights are
+/// ignored.
+///
+/// # Errors
+/// Returns `InvalidData` on a malformed header or edge line.
+pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Csr> {
+    let mut coo: Option<Coo> = None;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                let _kind = it.next().ok_or_else(|| bad_line(lineno, t))?;
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| bad_line(lineno, t))?
+                    .parse()
+                    .map_err(|_| bad_line(lineno, t))?;
+                coo = Some(Coo::new(n));
+            }
+            Some("a") | Some("e") => {
+                let coo = coo
+                    .as_mut()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "edge before p line"))?;
+                let parse = |s: Option<&str>| -> io::Result<u64> {
+                    s.ok_or_else(|| bad_line(lineno, t))?
+                        .parse::<u64>()
+                        .map_err(|_| bad_line(lineno, t))
+                };
+                let u = parse(it.next())?;
+                let v = parse(it.next())?;
+                if u == 0 || v == 0 || u as usize > coo.num_nodes || v as usize > coo.num_nodes {
+                    return Err(bad_line(lineno, t));
+                }
+                coo.push((u - 1) as NodeId, (v - 1) as NodeId);
+            }
+            _ => return Err(bad_line(lineno, t)),
+        }
+    }
+    let mut coo =
+        coo.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing p line"))?;
+    coo.normalize();
+    Ok(Csr::from_sorted_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Csr {
+        Csr::from_edges(5, &[(0, 1), (0, 4), (1, 2), (2, 3), (4, 0)])
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let text = "# comment\n% other comment\n\n0 1\n  1 2  \n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let e = read_edge_list(Cursor::new("0 x\n")).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let e = read_edge_list(Cursor::new("42\n")).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        let g2 = read_csr_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let e = read_csr_binary(Cursor::new(b"NOTMAGIC".to_vec())).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_csr_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_corrupted_invariants() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        // corrupt a target to an out-of-range node id
+        let last = buf.len() - 1;
+        buf[last] = 0xFF;
+        assert!(read_csr_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn matrix_market_general() {
+        let mm = "%%MatrixMarket matrix coordinate real general\n\
+                  % a comment\n\
+                  3 3 3\n1 2 0.5\n2 3 1.5\n3 1 2.5\n";
+        let g = read_matrix_market(Cursor::new(mm)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_mirrors() {
+        let mm = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n";
+        let g = read_matrix_market(Cursor::new(mm)).unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(read_matrix_market(Cursor::new("garbage\n")).is_err());
+        let no_dims = "%%MatrixMarket matrix coordinate real general\n";
+        assert!(read_matrix_market(Cursor::new(no_dims)).is_err());
+        let out_of_range = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(out_of_range)).is_err());
+    }
+
+    #[test]
+    fn dimacs_parses_arcs() {
+        let d = "c comment\np sp 4 3\na 1 2 7\na 2 3 1\ne 3 4 9\n";
+        let g = read_dimacs(Cursor::new(d)).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn dimacs_rejects_bad_input() {
+        assert!(read_dimacs(Cursor::new("a 1 2\n")).is_err()); // edge before p
+        assert!(read_dimacs(Cursor::new("x nonsense\n")).is_err());
+        assert!(read_dimacs(Cursor::new("p sp 2 1\na 1 5 1\n")).is_err()); // range
+        assert!(read_dimacs(Cursor::new("c only comments\n")).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Csr::from_edges(1, &[]);
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_csr_binary(Cursor::new(buf)).unwrap(), g);
+    }
+}

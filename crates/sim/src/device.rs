@@ -1,0 +1,271 @@
+//! The simulated device: configuration, caches, allocators, clock, profiler.
+
+use crate::cache::{Probe, SectorCache};
+use crate::config::DeviceConfig;
+use crate::kernel::Kernel;
+use crate::mem::{Allocator, DeviceArray, MemSpace};
+use crate::profile::Profiler;
+use std::collections::HashMap;
+
+/// One simulated GPU.
+///
+/// Owns the cache hierarchy and the simulated clock. Engines allocate their
+/// arrays through [`Device::alloc_array`], launch [`Kernel`]s to account
+/// work, and read the elapsed simulated time at the end of a run.
+pub struct Device {
+    cfg: DeviceConfig,
+    device_alloc: Allocator,
+    host_alloc: Allocator,
+    l1: Vec<SectorCache>,
+    l2: SectorCache,
+    profiler: Profiler,
+    elapsed_cycles: f64,
+    kernel_times: HashMap<String, (u64, f64)>,
+}
+
+impl Device {
+    /// Build a device from its configuration.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let spl = cfg.sectors_per_line();
+        let l1 = (0..cfg.num_sms)
+            .map(|_| SectorCache::new(cfg.l1.lines(cfg.line_bytes), cfg.l1.ways, spl))
+            .collect();
+        let l2 = SectorCache::new(cfg.l2.lines(cfg.line_bytes), cfg.l2.ways, spl);
+        Self {
+            device_alloc: Allocator::new(MemSpace::Device),
+            host_alloc: Allocator::new(MemSpace::Host),
+            l1,
+            l2,
+            profiler: Profiler::default(),
+            elapsed_cycles: 0.0,
+            kernel_times: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// A default-configured device (Quadro RTX 8000).
+    #[must_use]
+    pub fn default_device() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn cfg(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocate a device-memory array.
+    pub fn alloc_array<T: Clone>(&mut self, len: usize, fill: T) -> DeviceArray<T> {
+        DeviceArray::new(&mut self.device_alloc, len, fill)
+    }
+
+    /// Allocate a device-memory array from existing data.
+    pub fn alloc_from_vec<T: Clone>(&mut self, data: Vec<T>) -> DeviceArray<T> {
+        DeviceArray::from_vec(&mut self.device_alloc, data)
+    }
+
+    /// Allocate a *host*-memory array (reads become PCIe traffic).
+    pub fn alloc_host_array<T: Clone>(&mut self, len: usize, fill: T) -> DeviceArray<T> {
+        DeviceArray::new(&mut self.host_alloc, len, fill)
+    }
+
+    /// Allocate a host-memory array from existing data.
+    pub fn alloc_host_from_vec<T: Clone>(&mut self, data: Vec<T>) -> DeviceArray<T> {
+        DeviceArray::from_vec(&mut self.host_alloc, data)
+    }
+
+    /// Device memory in use, bytes.
+    #[must_use]
+    pub fn device_bytes_used(&self) -> u64 {
+        self.device_alloc.used_bytes()
+    }
+
+    /// Begin a kernel; report events on the returned handle, then call
+    /// [`Kernel::finish`].
+    pub fn launch(&mut self, name: &str) -> Kernel<'_> {
+        Kernel::new(self, name)
+    }
+
+    /// Probe one sector through L1(sm) then L2, filling on the way.
+    /// Returns `(l1_probe, l2_probe_if_missed_l1)`.
+    pub(crate) fn probe_memory(&mut self, sm: usize, sector: u64) -> (Probe, Option<Probe>) {
+        let n = self.l1.len();
+        let p1 = self.l1[sm % n].access(sector);
+        if p1 == Probe::Hit {
+            (p1, None)
+        } else {
+            let p2 = self.l2.access(sector);
+            (p1, Some(p2))
+        }
+    }
+
+    /// Probe L2 directly (atomics resolve in L2).
+    pub(crate) fn probe_l2_only(&mut self, sector: u64) -> Probe {
+        self.l2.access(sector)
+    }
+
+    pub(crate) fn charge(&mut self, totals: &Profiler, cycles: f64) {
+        self.profiler.merge(totals);
+        self.elapsed_cycles += cycles;
+    }
+
+    pub(crate) fn charge_named(&mut self, name: &str, cycles: f64) {
+        let e = self.kernel_times.entry(name.to_owned()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += cycles;
+    }
+
+    /// Per-kernel-name `(launches, seconds)` breakdown, sorted by time
+    /// descending — the where-did-the-time-go view a profiler gives.
+    #[must_use]
+    pub fn kernel_breakdown(&self) -> Vec<(String, u64, f64)> {
+        let mut v: Vec<(String, u64, f64)> = self
+            .kernel_times
+            .iter()
+            .map(|(k, &(n, c))| (k.clone(), n, self.cfg.cycles_to_seconds(c)))
+            .collect();
+        v.sort_by(|a, b| b.2.total_cmp(&a.2));
+        v
+    }
+
+    /// Advance the simulated clock by host-side seconds (PCIe transfers,
+    /// peer synchronisation, CPU work overlapping nothing).
+    pub fn advance_seconds(&mut self, seconds: f64) {
+        self.elapsed_cycles += seconds * self.cfg.clock_hz;
+    }
+
+    /// Simulated time elapsed since construction or the last [`Self::reset_clock`].
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.cfg.cycles_to_seconds(self.elapsed_cycles)
+    }
+
+    /// Simulated cycles elapsed.
+    #[must_use]
+    pub fn elapsed_cycles(&self) -> f64 {
+        self.elapsed_cycles
+    }
+
+    /// Zero the clock (caches and profiler keep their state).
+    pub fn reset_clock(&mut self) {
+        self.elapsed_cycles = 0.0;
+    }
+
+    /// Invalidate all caches (cold-start between unrelated runs).
+    pub fn flush_caches(&mut self) {
+        for c in &mut self.l1 {
+            c.flush();
+        }
+        self.l2.flush();
+    }
+
+    /// Aggregated profiler counters.
+    #[must_use]
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Clear profiler counters (including the per-kernel breakdown).
+    pub fn reset_profiler(&mut self) {
+        self.profiler = Profiler::default();
+        self.kernel_times.clear();
+    }
+
+    /// Record peer-link traffic in the profiler (used by multi-GPU drivers).
+    pub fn profiler_peer_bytes(&mut self, bytes: u64) {
+        self.profiler.peer_bytes += bytes;
+    }
+
+    /// L2 hit/miss statistics `(hits, sector_misses, line_misses)`.
+    #[must_use]
+    pub fn l2_stats(&self) -> (u64, u64, u64) {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::AccessKind;
+
+    #[test]
+    fn clock_accumulates_across_kernels() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        assert_eq!(d.elapsed_seconds(), 0.0);
+        let k = d.launch("a");
+        let r = k.finish();
+        assert!((d.elapsed_cycles() - r.cycles).abs() < 1e-9);
+        let k = d.launch("b");
+        let r2 = k.finish();
+        assert!((d.elapsed_cycles() - r.cycles - r2.cycles).abs() < 1e-9);
+        d.reset_clock();
+        assert_eq!(d.elapsed_cycles(), 0.0);
+    }
+
+    #[test]
+    fn advance_seconds_moves_clock() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        d.advance_seconds(1e-6);
+        assert!((d.elapsed_seconds() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flush_caches_makes_next_access_cold() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut k = d.launch("warm");
+        k.access(0, AccessKind::Read, &[512], 4);
+        k.access(0, AccessKind::Read, &[512], 4);
+        let _ = k.finish();
+        assert!(d.profiler().l1_hit_sectors > 0);
+        d.flush_caches();
+        d.reset_profiler();
+        let mut k = d.launch("cold");
+        k.access(0, AccessKind::Read, &[512], 4);
+        let _ = k.finish();
+        assert_eq!(d.profiler().l1_hit_sectors, 0);
+        assert_eq!(d.profiler().dram_sectors, 1);
+    }
+
+    #[test]
+    fn arrays_from_device_and_host_spaces() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let dv = d.alloc_array::<u32>(10, 0);
+        let hv = d.alloc_host_array::<u32>(10, 0);
+        assert!(!crate::mem::is_host_addr(dv.addr(0)));
+        assert!(crate::mem::is_host_addr(hv.addr(0)));
+        assert!(d.device_bytes_used() >= 40);
+    }
+
+    #[test]
+    fn kernel_breakdown_tracks_names() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        for _ in 0..3 {
+            let mut k = d.launch("expand");
+            k.exec_uniform(0, 100);
+            let _ = k.finish();
+        }
+        let k = d.launch("contract");
+        let _ = k.finish();
+        let bd = d.kernel_breakdown();
+        assert_eq!(bd.len(), 2);
+        let expand = bd.iter().find(|(n, _, _)| n == "expand").unwrap();
+        assert_eq!(expand.1, 3);
+        assert!(expand.2 > 0.0);
+        d.reset_profiler();
+        assert!(d.kernel_breakdown().is_empty());
+    }
+
+    #[test]
+    fn separate_l1_per_sm() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut k = d.launch("l1");
+        k.access(0, AccessKind::Read, &[512], 4);
+        // Same sector from another SM: misses its own L1, hits shared L2.
+        k.access(1, AccessKind::Read, &[512], 4);
+        let _ = k.finish();
+        assert_eq!(d.profiler().l2_hit_sectors, 1);
+        assert_eq!(d.profiler().dram_sectors, 1);
+    }
+}

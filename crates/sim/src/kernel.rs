@@ -1,0 +1,591 @@
+//! Kernel-scoped cost accounting.
+//!
+//! Engines obtain a [`Kernel`] from [`crate::device::Device::launch`], report
+//! the SIMT events their scheduling strategy generates (instructions, warp
+//! memory accesses, atomics, barriers), and call [`Kernel::finish`] to turn
+//! the event counts into simulated cycles.
+//!
+//! # Timing model
+//!
+//! Per SM, three quantities bound the runtime and the slowest wins:
+//!
+//! * **issue**: `warp_insts / issue_width` — the instruction pipeline;
+//! * **memory pipeline**: sector transactions divided by the L1's sector
+//!   throughput (4 sectors/cycle for a 128-byte LSU datapath);
+//! * **exposed latency**: the sum of per-access latencies divided by the
+//!   number of *independent instruction streams* (`concurrency`). This is
+//!   Little's law: with C independent warps in flight, each can hide the
+//!   others' stalls. Cooperative tile execution serialises a whole block
+//!   behind one stream (Figure 4a), which is precisely the deficiency
+//!   Resident Tile Stealing removes by letting every warp consume tiles
+//!   independently (Figure 4b).
+//!
+//! The kernel then takes the max over SMs — inter-SM load imbalance directly
+//! lengthens the kernel, which is what tile stealing flattens — and finally
+//! applies the device-wide DRAM/L2/PCIe bandwidth bounds plus the fixed
+//! launch overhead.
+
+use crate::cache::Probe;
+use crate::config::DeviceConfig;
+use crate::device::Device;
+use crate::mem::is_host_addr;
+use crate::profile::Profiler;
+use serde::{Deserialize, Serialize};
+
+/// What a memory access does; writes also produce sector traffic
+/// (write-allocate) and are tracked separately for the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (write-allocate, write-back modelled as equal-cost traffic).
+    Write,
+}
+
+/// Per-SM event counters for one kernel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SmCounters {
+    pub warp_insts: f64,
+    pub active_lanes: f64,
+    pub lane_slots: f64,
+    pub mem_requests: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub dram_sectors: u64,
+    pub write_sectors: u64,
+    pub atomics: u64,
+    pub atomic_serial: u64,
+    pub syncs: u64,
+    pub host_sectors: u64,
+}
+
+/// Timing summary returned by [`Kernel::finish`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name as given at launch.
+    pub name: String,
+    /// Simulated cycles the kernel occupied the device.
+    pub cycles: f64,
+    /// The same duration in seconds.
+    pub seconds: f64,
+    /// Cycles of the busiest SM (before device-wide bounds).
+    pub max_sm_cycles: f64,
+    /// Mean cycles across SMs that received work.
+    pub mean_sm_cycles: f64,
+    /// Number of SMs that received any work.
+    pub active_sms: usize,
+    /// DRAM bytes the kernel moved.
+    pub dram_bytes: u64,
+    /// PCIe bytes the kernel moved (zero unless out-of-core).
+    pub pcie_bytes: u64,
+}
+
+impl KernelReport {
+    /// Load-imbalance factor: busiest SM over mean SM (1.0 = perfectly even).
+    #[must_use]
+    pub fn sm_imbalance(&self) -> f64 {
+        if self.mean_sm_cycles <= 0.0 {
+            1.0
+        } else {
+            self.max_sm_cycles / self.mean_sm_cycles
+        }
+    }
+}
+
+/// An in-flight kernel: accumulates events, then [`Kernel::finish`] converts
+/// them to time and charges the owning device.
+pub struct Kernel<'d> {
+    dev: &'d mut Device,
+    name: String,
+    per_sm: Vec<SmCounters>,
+    concurrency: f64,
+    scratch_sectors: Vec<u64>,
+    host_bytes: u64,
+    host_requests: u64,
+}
+
+impl<'d> Kernel<'d> {
+    pub(crate) fn new(dev: &'d mut Device, name: &str) -> Self {
+        let sms = dev.cfg().num_sms;
+        let concurrency = dev.cfg().max_resident_warps as f64;
+        Self {
+            dev,
+            name: name.to_owned(),
+            per_sm: vec![SmCounters::default(); sms],
+            concurrency,
+            scratch_sectors: Vec::with_capacity(64),
+            host_bytes: 0,
+            host_requests: 0,
+        }
+    }
+
+    /// Device configuration shortcut.
+    #[must_use]
+    pub fn cfg(&self) -> &DeviceConfig {
+        self.dev.cfg()
+    }
+
+    /// Set the number of *independent instruction streams* per SM used for
+    /// latency hiding. A block cooperating as one tile is a single stream;
+    /// warps independently stealing resident tiles are `max_resident_warps`
+    /// streams. Clamped to `[1, max_resident_warps]`.
+    pub fn set_concurrency(&mut self, streams: f64) {
+        let cap = self.dev.cfg().max_resident_warps as f64;
+        self.concurrency = streams.clamp(1.0, cap);
+    }
+
+    /// Current latency-hiding concurrency.
+    #[must_use]
+    pub fn concurrency(&self) -> f64 {
+        self.concurrency
+    }
+
+    /// Issue `warp_insts` warp instructions on `sm` with `active` of `width`
+    /// lanes doing useful work (divergence shows up as `active < width`).
+    pub fn exec(&mut self, sm: usize, warp_insts: u64, active: usize, width: usize) {
+        let n = self.per_sm.len();
+        let c = &mut self.per_sm[sm % n];
+        c.warp_insts += warp_insts as f64;
+        c.active_lanes += active as f64;
+        c.lane_slots += width.max(active) as f64;
+    }
+
+    /// Issue fully-converged instructions (all lanes active).
+    pub fn exec_uniform(&mut self, sm: usize, warp_insts: u64) {
+        let w = self.dev.cfg().warp_size;
+        self.exec(sm, warp_insts, w, w);
+    }
+
+    /// A warp/tile-wide memory access: lanes touch `addrs` (each `elem_bytes`
+    /// wide). Addresses are coalesced into distinct 32-byte sectors, each
+    /// probed through L1 → L2 → DRAM. Host-space addresses become PCIe
+    /// traffic instead (zero-copy / UM-style access).
+    pub fn access(&mut self, sm: usize, kind: AccessKind, addrs: &[u64], elem_bytes: usize) {
+        if addrs.is_empty() {
+            return;
+        }
+        let sector = self.dev.cfg().sector_bytes as u64;
+        let sm = sm % self.per_sm.len();
+
+        // Coalesce: collect the distinct sectors the lanes touch. Elements may
+        // straddle sector boundaries when elem_bytes > 1.
+        self.scratch_sectors.clear();
+        for &a in addrs {
+            let first = a / sector;
+            let last = (a + elem_bytes as u64 - 1) / sector;
+            for s in first..=last {
+                self.scratch_sectors.push(s);
+            }
+        }
+        self.scratch_sectors.sort_unstable();
+        self.scratch_sectors.dedup();
+
+        let c = &mut self.per_sm[sm];
+        c.mem_requests += 1;
+        // one LSU instruction per request
+        c.warp_insts += 1.0;
+        c.active_lanes += addrs.len().min(self.dev.cfg().warp_size) as f64;
+        c.lane_slots += self.dev.cfg().warp_size as f64;
+
+        let is_write = kind == AccessKind::Write;
+        let mut prev_host_sector: u64 = u64::MAX;
+        for i in 0..self.scratch_sectors.len() {
+            let s = self.scratch_sectors[i];
+            if is_host_addr(s * sector) {
+                // Out-of-core: the sector crosses PCIe; no device-cache fill
+                // (uncached zero-copy semantics — the UM pool in `host.rs`
+                // provides the cached alternative). Contiguous sectors of one
+                // warp access merge into a single DMA request — the
+                // "merged and aligned" behaviour of Min et al. [31] that
+                // SAGE's tile alignment exploits.
+                self.per_sm[sm].host_sectors += 1;
+                self.host_bytes += sector;
+                if s != prev_host_sector.wrapping_add(1) {
+                    self.host_requests += 1;
+                }
+                prev_host_sector = s;
+                continue;
+            }
+            let outcome = self.dev.probe_memory(sm, s);
+            let c = &mut self.per_sm[sm];
+            match outcome {
+                (Probe::Hit, _) => c.l1_hits += 1,
+                (_, Some(Probe::Hit)) => c.l2_hits += 1,
+                _ => c.dram_sectors += 1,
+            }
+            if is_write {
+                c.write_sectors += 1;
+            }
+        }
+    }
+
+    /// A warp access routed through a unified-memory page pool: faulting
+    /// pages migrate over PCIe at page granularity, resident pages are
+    /// served from device memory (the sectors are charged against a device
+    /// staging alias of the host address, so the cache hierarchy behaves as
+    /// if the page lived on the device).
+    pub fn access_um(
+        &mut self,
+        sm: usize,
+        kind: AccessKind,
+        addrs: &[u64],
+        elem_bytes: usize,
+        pool: &mut crate::host::UmPool,
+    ) {
+        if addrs.is_empty() {
+            return;
+        }
+        const UM_STAGE_BASE: u64 = 1 << 38;
+        const HOST_BASE: u64 = 1 << 40;
+        let mut translated: Vec<u64> = Vec::with_capacity(addrs.len());
+        for &a in addrs {
+            if crate::mem::is_host_addr(a) {
+                if pool.access(a) == crate::host::PoolAccess::Fault {
+                    self.pcie_traffic(pool.page_bytes(), 1);
+                }
+                translated.push(UM_STAGE_BASE + (a - HOST_BASE));
+            } else {
+                translated.push(a);
+            }
+        }
+        self.access(sm, kind, &translated, elem_bytes);
+    }
+
+    /// Atomic read-modify-write by the lanes at `addrs` (one per lane).
+    /// Conflicting lanes (same address) serialise; every distinct address
+    /// costs an L2 round trip.
+    pub fn atomic(&mut self, sm: usize, addrs: &mut [u64]) {
+        if addrs.is_empty() {
+            return;
+        }
+        let sm = sm % self.per_sm.len();
+        let n = addrs.len() as u64;
+        addrs.sort_unstable();
+        let mut distinct = 1u64;
+        for i in 1..addrs.len() {
+            if addrs[i] != addrs[i - 1] {
+                distinct += 1;
+            }
+        }
+        // Traffic: atomics resolve in L2; charge sector traffic there too.
+        let sector = self.dev.cfg().sector_bytes as u64;
+        self.scratch_sectors.clear();
+        for &a in addrs.iter() {
+            self.scratch_sectors.push(a / sector);
+        }
+        self.scratch_sectors.sort_unstable();
+        self.scratch_sectors.dedup();
+        for i in 0..self.scratch_sectors.len() {
+            let s = self.scratch_sectors[i];
+            let outcome = self.dev.probe_l2_only(s);
+            let c = &mut self.per_sm[sm];
+            match outcome {
+                Probe::Hit => c.l2_hits += 1,
+                _ => c.dram_sectors += 1,
+            }
+        }
+        let c = &mut self.per_sm[sm];
+        c.atomics += n;
+        c.atomic_serial += n - distinct;
+        c.warp_insts += 1.0;
+        c.active_lanes += addrs.len().min(self.dev.cfg().warp_size) as f64;
+        c.lane_slots += self.dev.cfg().warp_size as f64;
+        c.mem_requests += 1;
+    }
+
+    /// A block-wide barrier executed on `sm`.
+    pub fn sync(&mut self, sm: usize) {
+        let n = self.per_sm.len();
+        self.per_sm[sm % n].syncs += 1;
+    }
+
+    /// Explicit PCIe traffic attributed to this kernel (e.g. UM page faults).
+    pub fn pcie_traffic(&mut self, bytes: u64, requests: u64) {
+        self.host_bytes += bytes;
+        self.host_requests += requests;
+    }
+
+    /// Number of SMs on the device (targets for work placement).
+    #[must_use]
+    pub fn num_sms(&self) -> usize {
+        self.per_sm.len()
+    }
+
+    /// Convert accumulated events into time, charge the device clock and
+    /// profiler, and return the report.
+    pub fn finish(self) -> KernelReport {
+        let cfg = self.dev.cfg().clone();
+        let mut totals = Profiler {
+            kernels: 1,
+            ..Profiler::default()
+        };
+        let mut max_sm = 0.0f64;
+        let mut sum_sm = 0.0f64;
+        let mut active_sms = 0usize;
+        let mut dram_bytes = 0u64;
+        let mut l2_sectors_total = 0u64;
+
+        for c in &self.per_sm {
+            let busy = c.warp_insts > 0.0 || c.mem_requests > 0 || c.syncs > 0;
+            if !busy {
+                continue;
+            }
+            active_sms += 1;
+            let issue = c.warp_insts / cfg.issue_width;
+            let sectors = c.l1_hits + c.l2_hits + c.dram_sectors + c.host_sectors;
+            let mem_pipe = sectors as f64 / cfg.sectors_per_line() as f64;
+            let latency_sum = c.l1_hits as f64 * cfg.l1.hit_latency as f64
+                + c.l2_hits as f64 * cfg.l2.hit_latency as f64
+                + c.dram_sectors as f64 * cfg.dram_latency as f64
+                + (c.atomics + c.atomic_serial) as f64 * cfg.atomic_cycles as f64;
+            let exposed = latency_sum / self.concurrency;
+            let sync_cost = c.syncs as f64 * cfg.block_sync_cycles as f64;
+            let sm_cycles = issue.max(mem_pipe).max(exposed) + sync_cost;
+            max_sm = max_sm.max(sm_cycles);
+            sum_sm += sm_cycles;
+
+            totals.warp_insts += c.warp_insts;
+            totals.active_lanes += c.active_lanes;
+            totals.lane_slots += c.lane_slots;
+            totals.mem_requests += c.mem_requests;
+            totals.l1_hit_sectors += c.l1_hits;
+            totals.l2_hit_sectors += c.l2_hits;
+            totals.dram_sectors += c.dram_sectors;
+            totals.write_sectors += c.write_sectors;
+            totals.atomics += c.atomics;
+            totals.atomic_conflicts += c.atomic_serial;
+            totals.syncs += c.syncs;
+            dram_bytes += c.dram_sectors * cfg.sector_bytes as u64;
+            l2_sectors_total += c.l2_hits + c.dram_sectors;
+        }
+
+        // Device-wide bandwidth bounds.
+        let dram_bound = dram_bytes as f64 / cfg.dram_bytes_per_cycle();
+        let l2_bound =
+            (l2_sectors_total * cfg.sector_bytes as u64) as f64 / cfg.l2_bytes_per_cycle();
+        // PCIe traffic bound (converted to cycles). The number of requests
+        // the device keeps in flight scales with the kernel's independent
+        // instruction streams — Resident Tile Stealing "increases the
+        // occupancy of the external memory pipeline" (§7.2) — so the
+        // effective DMA depth grows with concurrency.
+        let pcie_seconds = if self.host_bytes > 0 {
+            let mut pc = cfg.pcie;
+            let depth_scale = (self.concurrency / 4.0).max(1.0);
+            pc.queue_depth = ((pc.queue_depth as f64 * depth_scale) as usize).min(512);
+            crate::pcie::transfer_seconds(&pc, self.host_bytes, self.host_requests)
+        } else {
+            0.0
+        };
+        let pcie_cycles = pcie_seconds * cfg.clock_hz;
+
+        let cycles = max_sm
+            .max(dram_bound)
+            .max(l2_bound)
+            .max(pcie_cycles)
+            + cfg.kernel_launch_cycles as f64;
+
+        totals.pcie_bytes = self.host_bytes;
+        totals.pcie_requests = self.host_requests;
+        totals.cycles = cycles;
+        self.dev.charge(&totals, cycles);
+        self.dev.charge_named(&self.name, cycles);
+
+        KernelReport {
+            name: self.name,
+            cycles,
+            seconds: cfg.cycles_to_seconds(cycles),
+            max_sm_cycles: max_sm,
+            mean_sm_cycles: if active_sms == 0 {
+                0.0
+            } else {
+                sum_sm / active_sms as f64
+            },
+            active_sms,
+            dram_bytes,
+            pcie_bytes: self.host_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::device::Device;
+    use crate::mem::MemSpace;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead_only() {
+        let mut d = dev();
+        let k = d.launch("noop");
+        let r = k.finish();
+        assert_eq!(r.cycles, DeviceConfig::test_tiny().kernel_launch_cycles as f64);
+        assert_eq!(r.active_sms, 0);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_insts() {
+        let mut d = dev();
+        let mut k = d.launch("compute");
+        k.exec_uniform(0, 1000);
+        let r1 = k.finish();
+        let mut k = d.launch("compute");
+        k.exec_uniform(0, 2000);
+        let r2 = k.finish();
+        assert!(r2.cycles > r1.cycles);
+    }
+
+    #[test]
+    fn coalesced_access_touches_one_sector() {
+        let mut d = dev();
+        let mut k = d.launch("mem");
+        // 8 consecutive u32s = 32 bytes = 1 sector
+        let addrs: Vec<u64> = (0..8).map(|i| 1024 + i * 4).collect();
+        k.access(0, AccessKind::Read, &addrs, 4);
+        let _ = k.finish();
+        assert_eq!(d.profiler().total_sectors(), 1);
+    }
+
+    #[test]
+    fn scattered_access_touches_many_sectors() {
+        let mut d = dev();
+        let mut k = d.launch("mem");
+        // 8 addresses 1 KiB apart: 8 sectors
+        let addrs: Vec<u64> = (0..8).map(|i| 1024 + i * 1024).collect();
+        k.access(0, AccessKind::Read, &addrs, 4);
+        let _ = k.finish();
+        assert_eq!(d.profiler().total_sectors(), 8);
+    }
+
+    #[test]
+    fn element_straddling_sector_boundary_costs_two() {
+        let mut d = dev();
+        let mut k = d.launch("mem");
+        // 8-byte element at offset 28 straddles sectors 0 and 1
+        k.access(0, AccessKind::Read, &[28], 8);
+        let _ = k.finish();
+        assert_eq!(d.profiler().total_sectors(), 2);
+    }
+
+    #[test]
+    fn repeated_access_hits_cache_and_is_cheaper() {
+        let mut d = dev();
+        // 8 consecutive lines spread across all 4 L1 sets (2 per set).
+        let addrs: Vec<u64> = (0..8).map(|i| 4096 + i * 128).collect();
+        let mut k = d.launch("cold");
+        k.access(0, AccessKind::Read, &addrs, 4);
+        let cold = k.finish();
+        let mut k = d.launch("warm");
+        k.access(0, AccessKind::Read, &addrs, 4);
+        let warm = k.finish();
+        assert!(warm.cycles <= cold.cycles);
+        assert!(d.profiler().l1_hit_sectors > 0);
+    }
+
+    #[test]
+    fn higher_concurrency_hides_latency() {
+        let run = |streams: f64| {
+            let mut d = dev();
+            let mut k = d.launch("lat");
+            k.set_concurrency(streams);
+            for i in 0..64u64 {
+                k.access(0, AccessKind::Read, &[(1 << 20) | (i * 4096)], 4);
+            }
+            k.finish().cycles
+        };
+        let serial = run(1.0);
+        let parallel = run(8.0);
+        assert!(
+            parallel < serial,
+            "8 streams ({parallel}) should beat 1 stream ({serial})"
+        );
+    }
+
+    #[test]
+    fn inter_sm_imbalance_lengthens_kernel() {
+        let mut balanced = dev();
+        let mut k = balanced.launch("bal");
+        for sm in 0..4 {
+            k.exec_uniform(sm, 1000);
+        }
+        let b = k.finish();
+
+        let mut skewed = dev();
+        let mut k = skewed.launch("skew");
+        k.exec_uniform(0, 4000);
+        let s = k.finish();
+
+        assert!(s.cycles > b.cycles);
+        assert!(s.sm_imbalance() >= b.sm_imbalance());
+    }
+
+    #[test]
+    fn atomics_conflicts_serialize() {
+        let mut d = dev();
+        let mut k = d.launch("atomic");
+        let mut same = vec![64u64; 8];
+        k.atomic(0, &mut same);
+        let conflicted = k.finish();
+
+        let mut d2 = dev();
+        let mut k = d2.launch("atomic");
+        let mut distinct: Vec<u64> = (0..8).map(|i| 64 + i * 64).collect();
+        k.atomic(0, &mut distinct);
+        let _ = k.finish();
+
+        assert_eq!(d.profiler().atomic_conflicts, 7);
+        assert_eq!(d2.profiler().atomic_conflicts, 0);
+        assert!(conflicted.cycles > 0.0);
+    }
+
+    #[test]
+    fn host_addresses_become_pcie_traffic() {
+        let mut d = dev();
+        let mut h = crate::mem::Allocator::new(MemSpace::Host);
+        let base = h.alloc(4096);
+        let mut k = d.launch("ooc");
+        k.access(0, AccessKind::Read, &[base, base + 4096], 4);
+        let r = k.finish();
+        assert!(r.pcie_bytes > 0);
+        assert_eq!(d.profiler().total_sectors(), 0, "host traffic skips caches");
+        assert!(d.profiler().pcie_bytes > 0);
+    }
+
+    #[test]
+    fn syncs_add_cost() {
+        let mut d = dev();
+        let mut k = d.launch("sync");
+        k.exec_uniform(0, 10);
+        for _ in 0..100 {
+            k.sync(0);
+        }
+        let r = k.finish();
+        let base = DeviceConfig::test_tiny();
+        assert!(r.cycles >= 100.0 * base.block_sync_cycles as f64);
+        assert_eq!(d.profiler().syncs, 100);
+    }
+
+    #[test]
+    fn divergence_lowers_simt_efficiency() {
+        let mut d = dev();
+        let mut k = d.launch("div");
+        k.exec(0, 10, 2, 8);
+        let _ = k.finish();
+        assert!(d.profiler().simt_efficiency() < 0.5);
+    }
+
+    #[test]
+    fn concurrency_clamped_to_device_limits() {
+        let mut d = dev();
+        let mut k = d.launch("clamp");
+        k.set_concurrency(1e9);
+        assert_eq!(k.concurrency(), 8.0);
+        k.set_concurrency(0.0);
+        assert_eq!(k.concurrency(), 1.0);
+        let _ = k.finish();
+    }
+}

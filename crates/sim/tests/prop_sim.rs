@@ -1,0 +1,135 @@
+//! Property-based tests for the GPU simulator: cache semantics against a
+//! reference model, coalescing bounds, cost-model monotonicity, PCIe model
+//! sanity.
+
+use gpu_sim::{
+    pcie, AccessKind, Allocator, Device, DeviceConfig, MemSpace, PcieConfig, Probe, SectorCache,
+    UmPool,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_first_touch_of_sector_is_never_a_hit(accesses in prop::collection::vec(0u64..256, 1..200)) {
+        let mut c = SectorCache::new(64, 4, 4);
+        let mut seen: HashSet<u64> = HashSet::new();
+        for s in accesses {
+            let p = c.access(s);
+            if seen.insert(s) {
+                prop_assert!(p.is_miss(), "first touch of sector {s} must miss");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_covering_cache_only_misses_cold(accesses in prop::collection::vec(0u64..64, 1..300)) {
+        // cache holds 64 lines = 256 sectors >= the whole 64-sector space
+        let mut c = SectorCache::new(64, 4, 4);
+        let mut cold: HashSet<u64> = HashSet::new();
+        for s in accesses {
+            let p = c.access(s);
+            if !cold.insert(s) {
+                prop_assert_eq!(p, Probe::Hit, "sector {} revisit must hit", s);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_sum_to_accesses(accesses in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut c = SectorCache::new(16, 2, 4);
+        let n = accesses.len() as u64;
+        for s in accesses {
+            let _ = c.access(s);
+        }
+        let (h, sm, lm) = c.stats();
+        prop_assert_eq!(h + sm + lm, n);
+    }
+
+    #[test]
+    fn allocator_returns_aligned_disjoint_ranges(sizes in prop::collection::vec(1usize..10_000, 1..50)) {
+        let mut a = Allocator::new(MemSpace::Device);
+        let mut prev_end = 0u64;
+        for sz in sizes {
+            let base = a.alloc(sz);
+            prop_assert_eq!(base % 256, 0);
+            prop_assert!(base >= prev_end);
+            prev_end = base + sz as u64;
+        }
+    }
+
+    #[test]
+    fn coalescing_bounds(addrs in prop::collection::vec(0u64..100_000, 1..64)) {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut k = d.launch("prop");
+        k.access(0, AccessKind::Read, &addrs, 4);
+        let _ = k.finish();
+        let sectors = d.profiler().total_sectors();
+        // at least one sector, at most 2 per address (4B can straddle)
+        prop_assert!(sectors >= 1);
+        prop_assert!(sectors <= 2 * addrs.len() as u64);
+        // distinct 32B-aligned sectors touched is a lower bound
+        let distinct: HashSet<u64> = addrs.iter().map(|a| a / 32).collect();
+        prop_assert!(sectors >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn more_work_never_costs_less(insts in 1u64..10_000, extra in 1u64..10_000) {
+        let run = |n: u64| {
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let mut k = d.launch("w");
+            k.exec_uniform(0, n);
+            k.finish().cycles
+        };
+        prop_assert!(run(insts + extra) >= run(insts));
+    }
+
+    #[test]
+    fn concurrency_never_slows_a_kernel(streams in 1u32..8, addrs in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let run = |c: f64| {
+            let mut d = Device::new(DeviceConfig::test_tiny());
+            let mut k = d.launch("c");
+            k.set_concurrency(c);
+            for a in &addrs {
+                k.access(0, AccessKind::Read, &[*a], 4);
+            }
+            k.finish().cycles
+        };
+        prop_assert!(run(f64::from(streams) + 1.0) <= run(f64::from(streams)) + 1e-9);
+    }
+
+    #[test]
+    fn pcie_time_monotone_in_bytes_and_requests(bytes in 1u64..1_000_000, reqs in 1u64..1000) {
+        let cfg = PcieConfig::default();
+        let t = pcie::transfer_seconds(&cfg, bytes, reqs);
+        prop_assert!(t > 0.0);
+        prop_assert!(pcie::transfer_seconds(&cfg, bytes * 2, reqs) >= t);
+        prop_assert!(pcie::transfer_seconds(&cfg, bytes, reqs + 100) >= t);
+    }
+
+    #[test]
+    fn um_pool_never_exceeds_capacity(pages in 2u64..16, accesses in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut p = UmPool::new(pages * 4096, 4096);
+        for a in accesses {
+            let _ = p.access(a);
+        }
+        prop_assert!(p.resident_pages() <= pages as usize);
+        let (h, f, e) = p.stats();
+        prop_assert!(e <= f);
+        prop_assert!(h + f > 0);
+    }
+
+    #[test]
+    fn kernel_report_imbalance_at_least_one(work in prop::collection::vec(1u64..500, 1..4)) {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut k = d.launch("imb");
+        for (sm, &w) in work.iter().enumerate() {
+            k.exec_uniform(sm, w);
+        }
+        let r = k.finish();
+        prop_assert!(r.sm_imbalance() >= 1.0 - 1e-12);
+        prop_assert_eq!(r.active_sms, work.len().min(4));
+    }
+}

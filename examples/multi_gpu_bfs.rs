@@ -1,0 +1,45 @@
+//! Multi-GPU BFS: SAGE (no preprocessing) vs Gunrock/Groute with and
+//! without metis-like pre-partitioning, on one and two GPUs.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_bfs
+//! ```
+
+use sage::multigpu::{run_bfs_multi, MgKind, MultiGpuConfig};
+use sage_graph::datasets::Dataset;
+
+fn main() {
+    let csr = Dataset::Uk2002.generate(0.3);
+    println!(
+        "dataset: {} ({} nodes, {} edges)\n",
+        Dataset::Uk2002.name(),
+        csr.num_nodes(),
+        csr.num_edges()
+    );
+
+    println!(
+        "{:<22} {:>6} {:>12} {:>10}",
+        "configuration", "GPUs", "edges", "GTEPS"
+    );
+    for gpus in [1usize, 2] {
+        for (kind, metis) in [
+            (MgKind::Sage, false),
+            (MgKind::Gunrock, false),
+            (MgKind::Gunrock, true),
+            (MgKind::Groute, false),
+            (MgKind::Groute, true),
+        ] {
+            let cfg = MultiGpuConfig { gpus, kind, metis };
+            let r = run_bfs_multi(&cfg, &csr, 0);
+            println!(
+                "{:<22} {:>6} {:>12} {:>10.3}",
+                r.engine,
+                gpus,
+                r.edges,
+                r.gteps()
+            );
+        }
+        println!();
+    }
+    println!("note: metis partitioning cost is excluded, as in the paper (§7.2)");
+}
