@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo CI: format, lint, test, and the serving benchmark (perf trajectory).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== serve_bench (writes BENCH_serve.json) =="
+cargo run --release -q -p sage-bench --bin serve_bench
+
+echo "CI OK"

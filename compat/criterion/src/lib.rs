@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API the workspace's `[[bench]]`
+//! targets use (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `criterion_group!`, `criterion_main!`) with a simple wall-clock
+//! measurement loop: a short warm-up, then `sample_size` timed samples,
+//! reporting min/mean/max per benchmark to stdout. No statistics engine,
+//! no HTML reports — just honest timings so `cargo bench` stays useful
+//! without network access.
+
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque measurement blocker re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Drives the timing loop of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up once, then record `samples` runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let _ = std_black_box(routine());
+        self.last.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let _ = std_black_box(routine());
+            self.last.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{name:<50} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        last: Vec::new(),
+    };
+    f(&mut b);
+    report(name, &b.last);
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id` (a `BenchmarkId` or plain `&str`).
+    pub fn bench_function<B: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: B,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure receiving a shared input.
+    pub fn bench_with_input<B: Into<BenchmarkId>, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: B,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (flushes nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Open a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &i| {
+            b.iter(|| seen += i)
+        });
+        g.finish();
+        assert!(seen >= 7 * 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait and derive-macro
+//! namespaces, as in the real crate) so `#[derive(Serialize, Deserialize)]`
+//! annotations compile without network access. No actual serialisation
+//! machinery exists — the workspace emits machine-readable output by hand.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -38,5 +38,10 @@ fn bench_permutation_apply(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache_probe, bench_warp_access, bench_permutation_apply);
+criterion_group!(
+    benches,
+    bench_cache_probe,
+    bench_warp_access,
+    bench_permutation_apply
+);
 criterion_main!(benches);

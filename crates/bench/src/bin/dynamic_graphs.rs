@@ -3,6 +3,9 @@
 
 fn main() {
     let cfg = sage_bench::BenchConfig::from_env();
-    eprintln!("running dynamic-graph experiment at scale {} ...", cfg.scale);
+    eprintln!(
+        "running dynamic-graph experiment at scale {} ...",
+        cfg.scale
+    );
     println!("{}", sage_bench::experiments::dynamic::run(&cfg).to_text());
 }

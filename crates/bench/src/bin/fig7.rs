@@ -2,7 +2,10 @@
 
 fn main() {
     let cfg = sage_bench::BenchConfig::from_env();
-    eprintln!("running fig7 at scale {} ({} sources)...", cfg.scale, cfg.sources);
+    eprintln!(
+        "running fig7 at scale {} ({} sources)...",
+        cfg.scale, cfg.sources
+    );
     for t in sage_bench::experiments::fig7::run(&cfg) {
         println!("{}", t.to_text());
     }

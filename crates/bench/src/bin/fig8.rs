@@ -2,7 +2,10 @@
 
 fn main() {
     let cfg = sage_bench::BenchConfig::from_env();
-    eprintln!("running fig8 at scale {} ({} sources)...", cfg.scale, cfg.sources);
+    eprintln!(
+        "running fig8 at scale {} ({} sources)...",
+        cfg.scale, cfg.sources
+    );
     let t = sage_bench::experiments::fig8::run(&cfg);
     println!("{}", t.to_text());
 }

@@ -4,5 +4,8 @@
 fn main() {
     let cfg = sage_bench::BenchConfig::from_env();
     eprintln!("running out-of-core ablation at scale {} ...", cfg.scale);
-    println!("{}", sage_bench::experiments::ooc_ablation::run(&cfg).to_text());
+    println!(
+        "{}",
+        sage_bench::experiments::ooc_ablation::run(&cfg).to_text()
+    );
 }

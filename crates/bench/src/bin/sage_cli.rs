@@ -4,7 +4,7 @@
 //! sage_cli <app> [--graph FILE | --dataset NAME] [--engine NAME]
 //!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
 //!
-//!   app       bfs | bc | pr | cc | sssp | mis | kcore
+//!   app       bfs | bc | pr | cc | sssp | mis | kcore | serve
 //!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
 //!   --dataset uk-2002 | brain | ljournal | twitter | friendster
 //!   --engine  sage (default) | sage-tp | naive | b40c | tigr | gunrock | ligra
@@ -13,6 +13,9 @@
 //!   --repeat  runs to average (default 1; resident tiles warm up across runs)
 //!   --out-of-core  place the graph in host memory behind PCIe
 //!   --profile print Nsight-style counters after the run
+//!
+//! serve mode (concurrent query service over a device pool):
+//!   sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]
 //! ```
 //!
 //! Example:
@@ -24,7 +27,7 @@ use gpu_sim::Device;
 use sage::app::{App, Bc, Bfs, Cc, KCore, Mis, PageRank, Sssp};
 use sage::engine::{
     B40cEngine, Engine, GunrockEngine, LigraEngine, NaiveEngine, ResidentEngine, SubwayEngine,
-    TiledPartitioningEngine, TigrEngine,
+    TigrEngine, TiledPartitioningEngine,
 };
 use sage::{DeviceGraph, Runner};
 use sage_graph::datasets::Dataset;
@@ -42,13 +45,16 @@ struct Args {
     repeat: usize,
     out_of_core: bool,
     profile: bool,
+    devices: usize,
+    requests: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sage_cli <bfs|bc|pr|cc|sssp|mis|kcore> [--graph FILE | --dataset NAME] \
          [--engine sage|sage-tp|naive|b40c|tigr|gunrock|ligra] [--source N] \
-         [--scale F] [--repeat N] [--out-of-core] [--profile]"
+         [--scale F] [--repeat N] [--out-of-core] [--profile]\n\
+         \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]"
     );
     exit(2)
 }
@@ -56,7 +62,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     let app = argv.next().unwrap_or_else(|| usage());
-    if !["bfs", "bc", "pr", "cc", "sssp", "mis", "kcore"].contains(&app.as_str()) {
+    if !["bfs", "bc", "pr", "cc", "sssp", "mis", "kcore", "serve"].contains(&app.as_str()) {
         eprintln!("unknown app {app:?}");
         usage();
     }
@@ -70,6 +76,8 @@ fn parse_args() -> Args {
         repeat: 1,
         out_of_core: false,
         profile: false,
+        devices: 2,
+        requests: 64,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> String {
@@ -87,6 +95,10 @@ fn parse_args() -> Args {
             "--repeat" => args.repeat = value("--repeat").parse().unwrap_or_else(|_| usage()),
             "--out-of-core" => args.out_of_core = true,
             "--profile" => args.profile = true,
+            "--devices" => args.devices = value("--devices").parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                args.requests = value("--requests").parse().unwrap_or_else(|_| usage());
+            }
             _ => {
                 eprintln!("unknown flag {flag:?}");
                 usage();
@@ -143,16 +155,104 @@ fn make_engine(name: &str, dev: &mut Device, csr: &Csr) -> Box<dyn Engine> {
     }
 }
 
+/// `sage_cli serve`: stand up the query service on a device pool and drive
+/// a mixed closed-loop workload against the loaded graph.
+fn serve_mode(args: &Args, csr: Csr) {
+    use sage_serve::{AppKind, QueryRequest, SageService, ServiceConfig};
+
+    let nodes = csr.num_nodes();
+    let cfg = ServiceConfig {
+        devices: args.devices.max(1),
+        queue_capacity: args.requests.max(64) * 2,
+        ..ServiceConfig::default()
+    };
+    println!(
+        "serving {} nodes / {} edges on {} devices ({} requests)",
+        nodes,
+        csr.num_edges(),
+        cfg.devices,
+        args.requests
+    );
+    let service = SageService::start(cfg);
+    let g = service.register_graph("cli", csr);
+
+    let apps = [AppKind::Bfs, AppKind::Pr, AppKind::Sssp, AppKind::Cc];
+    let requests: Vec<QueryRequest> = (0..args.requests.max(1))
+        .map(|i| QueryRequest {
+            app: apps[i % apps.len()],
+            graph: g,
+            source: ((i * 13) % nodes) as u32,
+        })
+        .collect();
+
+    // replay the same workload until the runtime's reordering converges
+    // (a round that leaves the graph epoch unchanged no longer sweeps the
+    // cache), then the warm round demonstrates the epoch-keyed cache.
+    let run_round = |label: &str| {
+        let before = service.stats();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|&request| {
+                service
+                    .submit(request)
+                    .expect("queue sized for the workload")
+            })
+            .collect();
+        let mut latencies: Vec<f64> = tickets
+            .into_iter()
+            .map(|t| {
+                t.wait()
+                    .expect("serving must not fail")
+                    .latency()
+                    .total_seconds()
+            })
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| latencies[((q * latencies.len() as f64).ceil() as usize).max(1) - 1];
+        let after = service.stats();
+        let epoch = service.graph_epoch(g).unwrap_or(0);
+        println!(
+            "{label:<6} p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms | cache {} hits / {} misses | epoch {epoch}",
+            pct(0.50) * 1e3,
+            pct(0.95) * 1e3,
+            pct(0.99) * 1e3,
+            after.cache_hits - before.cache_hits,
+            after.cache_misses - before.cache_misses,
+        );
+        epoch
+    };
+
+    let mut epoch = run_round("cold");
+    for _ in 0..4 {
+        let now = run_round("adapt");
+        let settled = now == epoch;
+        epoch = now;
+        if settled {
+            break;
+        }
+    }
+    run_round("warm");
+    service.shutdown();
+}
+
 fn main() {
     let args = parse_args();
     let csr = load_graph(&args);
+    if args.app == "serve" {
+        serve_mode(&args, csr);
+        return;
+    }
     println!(
         "graph: {} nodes, {} edges | engine: {} | app: {}{}",
         csr.num_nodes(),
         csr.num_edges(),
         args.engine,
         args.app,
-        if args.out_of_core { " | out-of-core" } else { "" }
+        if args.out_of_core {
+            " | out-of-core"
+        } else {
+            ""
+        }
     );
     if (args.source as usize) >= csr.num_nodes() {
         eprintln!("source {} out of range", args.source);
@@ -191,7 +291,10 @@ fn main() {
         println!("\nprofiler:\n{}", dev.profiler());
         println!("\nkernel breakdown:");
         for (name, launches, secs) in dev.kernel_breakdown() {
-            println!("  {name:<22} {launches:>6} launches  {:>10.3} ms", secs * 1e3);
+            println!(
+                "  {name:<22} {launches:>6} launches  {:>10.3} ms",
+                secs * 1e3
+            );
         }
     }
 }

@@ -2,7 +2,10 @@
 
 fn main() {
     let cfg = sage_bench::BenchConfig::from_env();
-    eprintln!("running table2 at scale {} ({} sources)...", cfg.scale, cfg.sources);
+    eprintln!(
+        "running table2 at scale {} ({} sources)...",
+        cfg.scale, cfg.sources
+    );
     let t = sage_bench::experiments::table2::run(&cfg);
     println!("{}", t.to_text());
 }

@@ -34,13 +34,21 @@ fn measure_geometry(
 pub fn min_tile_sweep(cfg: &BenchConfig) -> ExpTable {
     let mut t = ExpTable::new(
         "Ablation — MIN_TILE_SIZE sweep, BFS (GTEPS)",
-        &["Dataset", "min_tile=4", "min_tile=8", "min_tile=16", "min_tile=32"],
+        &[
+            "Dataset",
+            "min_tile=4",
+            "min_tile=8",
+            "min_tile=16",
+            "min_tile=32",
+        ],
     );
     for d in [Dataset::Uk2002, Dataset::Brain, Dataset::Twitter] {
         let csr = d.generate(cfg.scale);
         let mut cells = vec![d.name().to_owned()];
         for mt in [4, 8, 16, 32] {
-            cells.push(fmt_gteps(measure_geometry(cfg, &csr, 256, mt, true).gteps()));
+            cells.push(fmt_gteps(
+                measure_geometry(cfg, &csr, 256, mt, true).gteps(),
+            ));
         }
         t.row(cells);
     }

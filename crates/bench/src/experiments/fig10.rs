@@ -46,12 +46,7 @@ impl Stage {
 
 /// Measure one ablation stage on one dataset/application.
 #[must_use]
-pub fn measure_stage(
-    cfg: &BenchConfig,
-    stage: Stage,
-    csr: &Csr,
-    app_kind: AppKind,
-) -> Measurement {
+pub fn measure_stage(cfg: &BenchConfig, stage: Stage, csr: &Csr, app_kind: AppKind) -> Measurement {
     let sources_seed = 0xf10;
     match stage {
         Stage::SamplingReordering => {

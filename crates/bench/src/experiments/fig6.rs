@@ -15,7 +15,12 @@ use sage_graph::reorder::{gorder_order, llp_order, rcm_order, LlpParams, Permuta
 use sage_graph::Csr;
 
 /// Measure SAGE on one fixed replica.
-fn measure_replica(cfg: &BenchConfig, csr: &Csr, app_kind: AppKind, source_seed: u64) -> Measurement {
+fn measure_replica(
+    cfg: &BenchConfig,
+    csr: &Csr,
+    app_kind: AppKind,
+    source_seed: u64,
+) -> Measurement {
     let mut dev = cfg.device();
     let sources = cfg.pick_sources(csr, source_seed);
     let g = DeviceGraph::upload(&mut dev, csr.clone());
@@ -84,7 +89,10 @@ pub fn run(cfg: &BenchConfig) -> Vec<ExpTable> {
         .iter()
         .map(|a| {
             ExpTable::new(
-                format!("Figure 6 — {} traversal speed by node order (GTEPS)", a.name()),
+                format!(
+                    "Figure 6 — {} traversal speed by node order (GTEPS)",
+                    a.name()
+                ),
                 &["Dataset", "SAGE_1", "RCM", "LLP", "Gorder", sage_n.as_str()],
             )
         })

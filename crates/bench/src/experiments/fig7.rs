@@ -113,7 +113,10 @@ pub fn run(cfg: &BenchConfig) -> Vec<ExpTable> {
         .iter()
         .map(|a| {
             ExpTable::new(
-                format!("Figure 7 — {} across PGP systems, without/with reordering (GTEPS)", a.name()),
+                format!(
+                    "Figure 7 — {} across PGP systems, without/with reordering (GTEPS)",
+                    a.name()
+                ),
                 &header_refs,
             )
         })

@@ -17,7 +17,10 @@ use sage_graph::datasets::Dataset;
 #[must_use]
 pub fn run(cfg: &BenchConfig) -> ExpTable {
     let mut t = ExpTable::new(
-        format!("Figure 8 — Out-of-core BFS over PCIe (GTEPS, scale {})", cfg.scale),
+        format!(
+            "Figure 8 — Out-of-core BFS over PCIe (GTEPS, scale {})",
+            cfg.scale
+        ),
         &["Dataset", "Subway", "SAGE"],
     );
     for d in Dataset::ALL {

@@ -49,7 +49,11 @@ pub fn run(cfg: &BenchConfig) -> ExpTable {
                 edges += r.edges;
                 secs += r.seconds;
             }
-            let gteps = if secs > 0.0 { edges as f64 / secs / 1e9 } else { 0.0 };
+            let gteps = if secs > 0.0 {
+                edges as f64 / secs / 1e9
+            } else {
+                0.0
+            };
             cells.push(fmt_gteps(gteps));
         }
         t.row(cells);

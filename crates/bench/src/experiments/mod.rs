@@ -3,11 +3,11 @@
 pub mod ablation_extra;
 pub mod dynamic;
 pub mod fig10;
-pub mod ooc_ablation;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod ooc_ablation;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -15,7 +15,13 @@ use sage_graph::datasets::Dataset;
 pub fn run(cfg: &BenchConfig) -> ExpTable {
     let mut t = ExpTable::new(
         "Out-of-core strategies — BFS (GTEPS)",
-        &["Dataset", "SAGE zero-copy", "UM pool 10%", "UM pool 50%", "Subway"],
+        &[
+            "Dataset",
+            "SAGE zero-copy",
+            "UM pool 10%",
+            "UM pool 50%",
+            "Subway",
+        ],
     );
     for d in [Dataset::Uk2002, Dataset::Ljournal, Dataset::Twitter] {
         let csr = d.generate(cfg.scale);

@@ -10,7 +10,9 @@ use sage_graph::stats::GraphStats;
 pub fn run(cfg: &BenchConfig) -> ExpTable {
     let mut t = ExpTable::new(
         format!("Table 1 — Statistics of Datasets (scale {})", cfg.scale),
-        &["Dataset", "Category", "|V|", "|E|", "|E|/|V|", "max deg", "deg CV"],
+        &[
+            "Dataset", "Category", "|V|", "|E|", "|E|/|V|", "max deg", "deg CV",
+        ],
     );
     for d in Dataset::ALL {
         let g = d.generate(cfg.scale);

@@ -30,7 +30,10 @@ pub fn sage_round_seconds(csr: &sage_graph::Csr) -> f64 {
 #[must_use]
 pub fn run(cfg: &BenchConfig) -> ExpTable {
     let mut t = ExpTable::new(
-        format!("Table 2 — Time Consumption of Reordering (scale {})", cfg.scale),
+        format!(
+            "Table 2 — Time Consumption of Reordering (scale {})",
+            cfg.scale
+        ),
         &["Dataset", "RCM", "LLP", "Gorder", "SAGE per round"],
     );
     for d in Dataset::ALL {

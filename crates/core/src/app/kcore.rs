@@ -156,9 +156,7 @@ mod tests {
             // peel everything with rem <= k, cascading
             let mut progressed = false;
             loop {
-                let wave: Vec<usize> = (0..n)
-                    .filter(|&u| !peeled[u] && rem[u] <= k)
-                    .collect();
+                let wave: Vec<usize> = (0..n).filter(|&u| !peeled[u] && rem[u] <= k).collect();
                 if wave.is_empty() {
                     break;
                 }

@@ -128,7 +128,10 @@ impl App for Mis {
                 rec.read(self.status.addr(n));
                 if self.status[f] == 0 && self.status[n] == 0 {
                     // the lower-priority endpoint is beaten this round
-                    let (pf, pn) = (priority(frontier, self.round), priority(neighbor, self.round));
+                    let (pf, pn) = (
+                        priority(frontier, self.round),
+                        priority(neighbor, self.round),
+                    );
                     if pf > pn || (pf == pn && frontier > neighbor) {
                         self.beaten[n] = 1;
                         rec.write(self.beaten.addr(n));

@@ -162,10 +162,7 @@ mod tests {
     #[test]
     fn hub_gets_higher_rank() {
         // stars pointing at node 0 (with back-edges so rank circulates)
-        let g = Csr::from_edges(
-            4,
-            &[(1, 0), (2, 0), (3, 0), (0, 1), (0, 2), (0, 3)],
-        );
+        let g = Csr::from_edges(4, &[(1, 0), (2, 0), (3, 0), (0, 1), (0, 2), (0, 3)]);
         let ranks = run_direct(&g, 40);
         assert!(ranks[0] > ranks[1]);
         assert!(ranks[0] > ranks[2]);

@@ -13,7 +13,9 @@
 //! inter-SM imbalance remains, which is exactly what SAGE's resident tiles
 //! remove.
 
-use super::common::{charge_offset_reads, gather_filter_range, gather_filter_scattered, NoObserver};
+use super::common::{
+    charge_offset_reads, gather_filter_range, gather_filter_scattered, NoObserver,
+};
 use super::{Engine, IterationOutput};
 use crate::access::AccessRecorder;
 use crate::app::App;
@@ -92,8 +94,17 @@ impl Engine for B40cEngine {
                         let len = (self.block_size as u32).min(beg + deg - off);
                         k.sync(sm);
                         out.edges += gather_filter_range(
-                            &mut k, sm, g, app, f, off, len, &mut rec, &mut out.next,
-                            &mut NoObserver, &mut scratch,
+                            &mut k,
+                            sm,
+                            g,
+                            app,
+                            f,
+                            off,
+                            len,
+                            &mut rec,
+                            &mut out.next,
+                            &mut NoObserver,
+                            &mut scratch,
                         );
                         off += len;
                     }
@@ -103,8 +114,17 @@ impl Engine for B40cEngine {
                     while off < beg + deg {
                         let len = (warp as u32).min(beg + deg - off);
                         out.edges += gather_filter_range(
-                            &mut k, sm, g, app, f, off, len, &mut rec, &mut out.next,
-                            &mut NoObserver, &mut scratch,
+                            &mut k,
+                            sm,
+                            g,
+                            app,
+                            f,
+                            off,
+                            len,
+                            &mut rec,
+                            &mut out.next,
+                            &mut NoObserver,
+                            &mut scratch,
                         );
                         off += len;
                     }
@@ -121,7 +141,14 @@ impl Engine for B40cEngine {
                 k.exec_uniform(sm, 2 * log_b);
                 k.sync(sm);
                 out.edges += gather_filter_scattered(
-                    &mut k, sm, g, app, batch, &mut rec, &mut out.next, &mut scratch,
+                    &mut k,
+                    sm,
+                    g,
+                    app,
+                    batch,
+                    &mut rec,
+                    &mut out.next,
+                    &mut scratch,
                 );
             }
         }

@@ -200,8 +200,16 @@ mod tests {
         let mut next = Vec::new();
         let mut scratch = Vec::new();
         let mut k = dev.launch("test");
-        let edges =
-            gather_filter_scattered(&mut k, 0, &g, &mut app, &pairs, &mut rec, &mut next, &mut scratch);
+        let edges = gather_filter_scattered(
+            &mut k,
+            0,
+            &g,
+            &mut app,
+            &pairs,
+            &mut rec,
+            &mut next,
+            &mut scratch,
+        );
         let _ = k.finish();
         assert_eq!(edges, 5);
         assert_eq!(next.len(), 5);

@@ -113,13 +113,27 @@ impl Engine for GunrockEngine {
                 }
                 let f = frontier[row];
                 // each covered row's offsets are re-read by its lanes
-                k.access(sm, AccessKind::Read, &[g.offset_addr(f), g.offset_addr(f + 1)], 4);
+                k.access(
+                    sm,
+                    AccessKind::Read,
+                    &[g.offset_addr(f), g.offset_addr(f + 1)],
+                    4,
+                );
                 let row_beg = g.csr().offset(f);
                 let in_row = (pos - prefix[row]) as u32;
                 let len = ((prefix[row + 1] - pos).min(hi - pos)) as u32;
                 out.edges += gather_filter_range(
-                    &mut k, sm, g, app, f, row_beg + in_row, len, &mut rec, &mut out.next,
-                    &mut NoObserver, &mut scratch,
+                    &mut k,
+                    sm,
+                    g,
+                    app,
+                    f,
+                    row_beg + in_row,
+                    len,
+                    &mut rec,
+                    &mut out.next,
+                    &mut NoObserver,
+                    &mut scratch,
                 );
                 pos += u64::from(len);
             }
@@ -162,10 +176,7 @@ mod tests {
 
     #[test]
     fn edge_counts_are_exact() {
-        let csr = sage_graph::Csr::from_edges(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 5)],
-        );
+        let csr = sage_graph::Csr::from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 5)]);
         let mut dev = Device::new(DeviceConfig::test_tiny());
         let g = DeviceGraph::upload(&mut dev, csr);
         let mut app = Bfs::new(&mut dev);
@@ -185,6 +196,9 @@ mod tests {
         let before = dev.profiler().kernels;
         let mut eng = GunrockEngine::new();
         let _ = eng.iterate(&mut dev, &g, &mut app, &[0]);
-        assert!(dev.profiler().kernels - before >= 2, "scan + advance kernels");
+        assert!(
+            dev.profiler().kernels - before >= 2,
+            "scan + advance kernels"
+        );
     }
 }

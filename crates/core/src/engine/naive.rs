@@ -80,7 +80,14 @@ impl Engine for NaiveEngine {
                 // loop bookkeeping with divergence: idle lanes stay masked
                 k.exec(sm, 2, pairs.len(), warp);
                 out.edges += gather_filter_scattered(
-                    &mut k, sm, g, app, &pairs, &mut rec, &mut out.next, &mut scratch,
+                    &mut k,
+                    sm,
+                    g,
+                    app,
+                    &pairs,
+                    &mut rec,
+                    &mut out.next,
+                    &mut scratch,
                 );
             }
         }

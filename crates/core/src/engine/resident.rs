@@ -248,7 +248,16 @@ impl Engine for ResidentEngine {
                     None => &mut NoObserver,
                 };
                 out.edges += gather_filter_range(
-                    &mut k, sm, g, app, f, r.beg, r.len, &mut rec, &mut out.next, obs,
+                    &mut k,
+                    sm,
+                    g,
+                    app,
+                    f,
+                    r.beg,
+                    r.len,
+                    &mut rec,
+                    &mut out.next,
+                    obs,
                     &mut scratch,
                 );
             }
@@ -258,7 +267,14 @@ impl Engine for ResidentEngine {
             for (ci, chunk) in frags.chunks(warp).enumerate() {
                 let sm = ci % sms;
                 out.edges += gather_filter_scattered(
-                    &mut k, sm, g, app, chunk, &mut rec, &mut out.next, &mut scratch,
+                    &mut k,
+                    sm,
+                    g,
+                    app,
+                    chunk,
+                    &mut rec,
+                    &mut out.next,
+                    &mut scratch,
                 );
             }
             let _ = k.finish();

@@ -15,7 +15,9 @@
 //! the latency-hiding deficiency (Figure 4a) that Resident Tile Stealing
 //! fixes.
 
-use super::common::{charge_offset_reads, gather_filter_range, gather_filter_scattered, NoObserver};
+use super::common::{
+    charge_offset_reads, gather_filter_range, gather_filter_scattered, NoObserver,
+};
 use super::{Engine, IterationOutput};
 use crate::access::AccessRecorder;
 use crate::app::App;
@@ -131,8 +133,7 @@ impl Engine for TiledPartitioningEngine {
                     loop {
                         // line 9: tile.any(neighbor_size >= tile.size())
                         overhead_insts += charge_vote(&mut k, sm, tile);
-                        let leader = (lo..hi)
-                            .find(|&i| (end[i] - beg[i]) as usize >= tile_size);
+                        let leader = (lo..hi).find(|&i| (end[i] - beg[i]) as usize >= tile_size);
                         let Some(li) = leader else { break };
                         // lines 10-19: elect + shfl(u_beg) + shfl(u_end) +
                         // shfl(frontier)
@@ -185,7 +186,14 @@ impl Engine for TiledPartitioningEngine {
             overhead_insts += 2 * (self.block_size.trailing_zeros() as u64);
             k.exec_uniform(sm, 2 * u64::from(self.block_size.trailing_zeros()));
             out.edges += gather_filter_scattered(
-                &mut k, sm, g, app, &frags, &mut rec, &mut out.next, &mut scratch,
+                &mut k,
+                sm,
+                g,
+                app,
+                &frags,
+                &mut rec,
+                &mut out.next,
+                &mut scratch,
             );
         }
 
@@ -229,7 +237,10 @@ mod tests {
         let mut eng = tp();
         let r = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 3);
         assert_eq!(app.distances(), expect.as_slice());
-        assert!(r.overhead_seconds > 0.0, "TP must report scheduling overhead");
+        assert!(
+            r.overhead_seconds > 0.0,
+            "TP must report scheduling overhead"
+        );
         assert!(r.overhead_seconds < r.seconds);
     }
 
@@ -259,7 +270,11 @@ mod tests {
         };
         let out = eng.iterate(&mut dev, &g, &mut app, &frontier);
         let total: u32 = degrees.iter().sum();
-        assert_eq!(out.edges, u64::from(total), "every outdegree consumed exactly once");
+        assert_eq!(
+            out.edges,
+            u64::from(total),
+            "every outdegree consumed exactly once"
+        );
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl Engine for SubwayEngine {
 
         // 2. bulk async transfer of the SubCSR (overlaps prior compute)
         let bytes = active_edges * 4 + frontier.len() as u64 * 8;
-        let transfer_sec = pcie::transfer_seconds(&dev.cfg().pcie, bytes, bytes.div_ceil(1 << 20).max(1));
+        let transfer_sec =
+            pcie::transfer_seconds(&dev.cfg().pcie, bytes, bytes.div_ceil(1 << 20).max(1));
         let hidden = self.prev_compute.min(transfer_sec);
         dev.advance_seconds(extract_sec + transfer_sec - hidden);
         {
@@ -176,8 +177,7 @@ mod tests {
         assert!(p.pcie_bytes > 0, "subgraph preloads must cross PCIe");
         // bulk: average request ≥ 64 KiB
         assert!(
-            p.pcie_bytes / p.pcie_requests.max(1) >= 64 * 1024
-                || p.pcie_requests <= 2 * 20,
+            p.pcie_bytes / p.pcie_requests.max(1) >= 64 * 1024 || p.pcie_requests <= 2 * 20,
             "requests should be bulky: {} bytes / {} reqs",
             p.pcie_bytes,
             p.pcie_requests

@@ -169,10 +169,24 @@ impl Engine for TigrEngine {
             let sm = (vi / (256 / warp).max(1)) % sms;
             let vn = self.virtuals[v as usize];
             // auxiliary read of the virtual node descriptor
-            k.access(sm, AccessKind::Read, &[self.aux_base + u64::from(v) * 12], 12);
+            k.access(
+                sm,
+                AccessKind::Read,
+                &[self.aux_base + u64::from(v) * 12],
+                12,
+            );
             out.edges += gather_filter_range(
-                &mut k, sm, g, app, vn.real, vn.beg, vn.len, &mut rec, &mut out.next,
-                &mut NoObserver, &mut scratch,
+                &mut k,
+                sm,
+                g,
+                app,
+                vn.real,
+                vn.beg,
+                vn.len,
+                &mut rec,
+                &mut out.next,
+                &mut NoObserver,
+                &mut scratch,
             );
         }
         let _ = k.finish();
@@ -249,7 +263,10 @@ mod tests {
             let mut app = Bfs::new(&mut dev);
             Runner::new().run(&mut dev, &g, &mut e, &mut app, 0).seconds
         };
-        assert!(tigr_t < naive_t, "UDT should beat naive: {tigr_t} vs {naive_t}");
+        assert!(
+            tigr_t < naive_t,
+            "UDT should beat naive: {tigr_t} vs {naive_t}"
+        );
 
         // repeated-run totals: SAGE amortises scheduling via resident tiles
         let sage_5 = {

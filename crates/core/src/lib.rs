@@ -48,6 +48,6 @@ pub mod runtime;
 
 pub use access::AccessRecorder;
 pub use dgraph::{DeviceGraph, GraphPlacement};
-pub use metrics::RunReport;
+pub use metrics::{LatencyBreakdown, RunReport};
 pub use pipeline::Runner;
 pub use runtime::SageRuntime;

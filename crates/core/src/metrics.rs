@@ -7,6 +7,41 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Where a query's end-to-end latency went, stage by stage.
+///
+/// Filled in by serving layers (`sage-serve`) that wrap traversal runs in a
+/// queue → batch → execute → remap pipeline; a bare engine run leaves it at
+/// the default (all zeros). All fields are **host wall-clock** seconds — the
+/// simulated device time stays in [`RunReport::seconds`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Waiting in the admission queue before a worker picked the query up.
+    pub queue_seconds: f64,
+    /// Waiting inside the worker while its batch was assembled.
+    pub batch_seconds: f64,
+    /// Executing the traversal (host time of the simulated run).
+    pub exec_seconds: f64,
+    /// Mapping results back through the composed permutation to original
+    /// node ids (plus cache bookkeeping).
+    pub remap_seconds: f64,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end host latency: sum of every stage.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.queue_seconds + self.batch_seconds + self.exec_seconds + self.remap_seconds
+    }
+
+    /// Merge another breakdown into this one (stage-wise sum).
+    pub fn accumulate(&mut self, other: &LatencyBreakdown) {
+        self.queue_seconds += other.queue_seconds;
+        self.batch_seconds += other.batch_seconds;
+        self.exec_seconds += other.exec_seconds;
+        self.remap_seconds += other.remap_seconds;
+    }
+}
+
 /// Outcome of one traversal run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -23,6 +58,8 @@ pub struct RunReport {
     /// Simulated seconds spent in scheduling overhead (tiled partitioning
     /// elections/partitions) — the numerator of Table 3.
     pub overhead_seconds: f64,
+    /// Host-side query-latency breakdown (zeros outside a serving layer).
+    pub latency: LatencyBreakdown,
 }
 
 impl RunReport {
@@ -52,6 +89,7 @@ impl RunReport {
         self.edges += other.edges;
         self.seconds += other.seconds;
         self.overhead_seconds += other.overhead_seconds;
+        self.latency.accumulate(&other.latency);
     }
 }
 
@@ -82,6 +120,7 @@ mod tests {
             edges,
             seconds,
             overhead_seconds: 0.1 * seconds,
+            latency: LatencyBreakdown::default(),
         }
     }
 
@@ -111,6 +150,20 @@ mod tests {
         assert_eq!(a.edges, 150);
         assert!((a.seconds - 1.5).abs() < 1e-12);
         assert_eq!(a.iterations, 6);
+    }
+
+    #[test]
+    fn latency_breakdown_totals_and_accumulates() {
+        let mut a = LatencyBreakdown {
+            queue_seconds: 1.0,
+            batch_seconds: 0.5,
+            exec_seconds: 2.0,
+            remap_seconds: 0.25,
+        };
+        assert!((a.total_seconds() - 3.75).abs() < 1e-12);
+        a.accumulate(&a.clone());
+        assert!((a.total_seconds() - 7.5).abs() < 1e-12);
+        assert!((a.queue_seconds - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -173,12 +173,19 @@ impl MultiGpuDriver {
             iterations += 1;
             let mut all_next: Vec<NodeId> = Vec::new();
             let mut remote_passes = 0u64;
+            // `d` indexes four parallel vectors (frontiers/engines/devices/
+            // graphs); an enumerate() over one of them obscures that
+            #[allow(clippy::needless_range_loop)]
             for d in 0..n_gpus {
                 if frontiers[d].is_empty() {
                     continue;
                 }
-                let out =
-                    self.engines[d].iterate(&mut self.devices[d], &self.graphs[d], app, &frontiers[d]);
+                let out = self.engines[d].iterate(
+                    &mut self.devices[d],
+                    &self.graphs[d],
+                    app,
+                    &frontiers[d],
+                );
                 edges += out.edges;
                 remote_passes += out
                     .next
@@ -258,6 +265,7 @@ impl MultiGpuDriver {
             edges,
             seconds,
             overhead_seconds: 0.0,
+            latency: crate::metrics::LatencyBreakdown::default(),
         }
     }
 }

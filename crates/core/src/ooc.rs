@@ -156,8 +156,8 @@ impl Engine for UmOocEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::Bfs;
     use crate::app::App;
+    use crate::app::Bfs;
     use crate::engine::SubwayEngine;
     use crate::pipeline::Runner;
     use crate::reference;
@@ -192,15 +192,22 @@ mod tests {
             let g = DeviceGraph::upload(&mut dev, csr.clone());
             let mut eng = ResidentEngine::new();
             let mut app = Bfs::new(&mut dev);
-            Runner::new().run(&mut dev, &g, &mut eng, &mut app, 1).seconds
+            Runner::new()
+                .run(&mut dev, &g, &mut eng, &mut app, 1)
+                .seconds
         };
         let ooc = {
             let mut dev = Device::new(DeviceConfig::test_tiny());
             let (g, mut eng) = sage_out_of_core(&mut dev, csr.clone());
             let mut app = Bfs::new(&mut dev);
-            Runner::new().run(&mut dev, &g, &mut eng, &mut app, 1).seconds
+            Runner::new()
+                .run(&mut dev, &g, &mut eng, &mut app, 1)
+                .seconds
         };
-        assert!(ooc > in_core, "PCIe-bound run ({ooc}) must be slower than in-core ({in_core})");
+        assert!(
+            ooc > in_core,
+            "PCIe-bound run ({ooc}) must be slower than in-core ({in_core})"
+        );
     }
 
     #[test]
@@ -211,14 +218,18 @@ mod tests {
             let mut dev = Device::new(DeviceConfig::test_tiny());
             let (g, mut eng) = sage_out_of_core(&mut dev, csr.clone());
             let mut app = Bfs::new(&mut dev);
-            Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0).seconds
+            Runner::new()
+                .run(&mut dev, &g, &mut eng, &mut app, 0)
+                .seconds
         };
         let subway = {
             let mut dev = Device::new(DeviceConfig::test_tiny());
             let mut eng = SubwayEngine::new(&mut dev, csr.num_edges());
             let g = DeviceGraph::upload_host(&mut dev, csr.clone());
             let mut app = Bfs::new(&mut dev);
-            Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0).seconds
+            Runner::new()
+                .run(&mut dev, &g, &mut eng, &mut app, 0)
+                .seconds
         };
         assert!(
             sage < subway * 3.0,
@@ -251,7 +262,10 @@ mod tests {
         assert_eq!(app.distances(), expect.as_slice());
         let (_, faults, _) = eng.pool_stats();
         assert!(faults > 0, "cold pool must fault");
-        assert!(dev.profiler().pcie_bytes > 0, "faults migrate pages over PCIe");
+        assert!(
+            dev.profiler().pcie_bytes > 0,
+            "faults migrate pages over PCIe"
+        );
     }
 
     #[test]

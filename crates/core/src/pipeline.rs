@@ -86,6 +86,7 @@ impl Runner {
             edges,
             seconds: dev.elapsed_seconds() - start,
             overhead_seconds: overhead,
+            latency: crate::metrics::LatencyBreakdown::default(),
         }
     }
 

@@ -145,7 +145,11 @@ impl Sampler {
             let loss = self.locality[u];
             let improves = gain > loss;
             let well_placed = cur_index.abs_diff(anchor) < SECTOR_NODES;
-            let target = if improves && !well_placed { anchor } else { cur_index };
+            let target = if improves && !well_placed {
+                anchor
+            } else {
+                cur_index
+            };
             expected.push((target, u as NodeId));
         }
 
@@ -300,8 +304,7 @@ mod tests {
             tiles
                 .iter()
                 .map(|t| {
-                    let mut sectors: Vec<u32> =
-                        t.iter().map(|&m| map(m) / SECTOR_NODES).collect();
+                    let mut sectors: Vec<u32> = t.iter().map(|&m| map(m) / SECTOR_NODES).collect();
                     sectors.sort_unstable();
                     sectors.dedup();
                     sectors.len()

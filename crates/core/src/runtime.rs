@@ -16,6 +16,21 @@ use crate::pipeline::Runner;
 use crate::reorder::Sampler;
 use gpu_sim::Device;
 use sage_graph::{Csr, NodeId, Permutation};
+use std::sync::OnceLock;
+
+/// True when `SAGE_DEBUG` is set in the environment (checked once).
+fn debug_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("SAGE_DEBUG").is_some())
+}
+
+macro_rules! debug_log {
+    ($($arg:tt)*) => {
+        if debug_enabled() {
+            eprintln!("[sage] {}", format!($($arg)*));
+        }
+    };
+}
 
 /// SAGE with self-adaptive reordering enabled.
 ///
@@ -39,6 +54,10 @@ pub struct SageRuntime {
     /// Composition of every applied round: original id → current id.
     perm: Permutation,
     rounds: usize,
+    /// Monotone version of the id mapping: bumped on every committed *and*
+    /// every rolled-back round. Anything keyed on node ids (result caches,
+    /// precomputed frontiers) is stale once this changes.
+    epoch: u64,
     runner: Runner,
     /// Normalised sampled locality of the previous round (per edge access).
     prev_locality: Option<f64>,
@@ -73,6 +92,7 @@ impl SageRuntime {
             engine,
             perm: Permutation::identity(n),
             rounds: 0,
+            epoch: 0,
             runner: Runner::new(),
             prev_locality: None,
             undo: None,
@@ -99,6 +119,20 @@ impl SageRuntime {
         self.rounds
     }
 
+    /// Version of the current id mapping. Bumped whenever a reordering
+    /// round commits *or* rolls back — i.e. whenever previously captured
+    /// current-id data (cached results, saved frontiers) may be stale.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The composed permutation applied so far: original id → current id.
+    #[must_use]
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
     /// Current id of an original node id.
     #[must_use]
     pub fn current_id(&self, original: NodeId) -> NodeId {
@@ -115,7 +149,8 @@ impl SageRuntime {
     /// accesses along the way.
     pub fn run(&mut self, dev: &mut Device, app: &mut dyn App, source: NodeId) -> RunReport {
         let src = self.perm.map(source);
-        self.runner.run(dev, &self.graph, &mut self.engine, app, src)
+        self.runner
+            .run(dev, &self.graph, &mut self.engine, app, src)
     }
 
     /// True once reordering has converged (a round regressed and was
@@ -128,11 +163,7 @@ impl SageRuntime {
     /// If the sampler has reached its threshold, execute one reordering
     /// round (stages 2–3 + representation update) and return true.
     pub fn maybe_reorder(&mut self, dev: &mut Device) -> bool {
-        let saturated = self
-            .engine
-            .sampler
-            .as_ref()
-            .is_some_and(Sampler::saturated);
+        let saturated = self.engine.sampler.as_ref().is_some_and(Sampler::saturated);
         if !saturated {
             return false;
         }
@@ -156,9 +187,7 @@ impl SageRuntime {
             return false;
         }
         let cur_locality = sampler.total_locality() as f64 / sampler.sampled() as f64;
-        if let (Some(prev), Some((prev_csr, last_perm))) =
-            (self.prev_locality, self.undo.take())
-        {
+        if let (Some(prev), Some((prev_csr, last_perm))) = (self.prev_locality, self.undo.take()) {
             if cur_locality < prev * 1.03 {
                 // no meaningful gain: the order is approaching convergence
                 self.plateau += 1;
@@ -172,9 +201,18 @@ impl SageRuntime {
                 self.perm = self.perm.then(&last_perm.inverse());
                 self.engine.reset();
                 self.rounds -= 1;
+                self.epoch += 1;
                 self.regressions += 1;
+                debug_log!(
+                    "reorder round rolled back (locality {cur_locality:.4} < {:.4}), \
+                     epoch -> {}, regressions {}",
+                    prev * 0.99,
+                    self.epoch,
+                    self.regressions
+                );
                 if self.regressions >= 2 {
                     self.converged = true;
+                    debug_log!("reordering converged after {} rounds", self.rounds);
                 }
                 // discard the samples taken on the rolled-back order
                 if let Some(smp) = self.engine.sampler.as_mut() {
@@ -186,6 +224,10 @@ impl SageRuntime {
                 // two rounds without progress: stop adapting (§6:
                 // "until convergence to a relatively high level")
                 self.converged = true;
+                debug_log!(
+                    "reordering plateaued after {} rounds (locality {cur_locality:.4}); frozen",
+                    self.rounds
+                );
                 if let Some(smp) = self.engine.sampler.as_mut() {
                     let _ = smp.finish_round(dev);
                 }
@@ -206,6 +248,12 @@ impl SageRuntime {
         self.undo = Some((prev_csr, round_perm));
         self.prev_locality = Some(cur_locality);
         self.rounds += 1;
+        self.epoch += 1;
+        debug_log!(
+            "reorder round {} committed (sampled locality {cur_locality:.4}), epoch -> {}",
+            self.rounds,
+            self.epoch
+        );
         true
     }
 }
@@ -282,6 +330,32 @@ mod tests {
     }
 
     #[test]
+    fn epoch_bumps_on_committed_rounds_and_tracks_permutation() {
+        let csr = graph();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let mut rt = SageRuntime::with_threshold(&mut dev, csr, 500);
+        assert_eq!(rt.epoch(), 0);
+        assert!(rt
+            .permutation()
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| i as NodeId == p));
+        let mut app = Bfs::new(&mut dev);
+        let _ = rt.run(&mut dev, &mut app, 0);
+        let committed = rt.maybe_reorder(&mut dev);
+        if committed {
+            assert_eq!(rt.epoch(), 1);
+            // composed permutation maps every original id to its current id
+            for u in 0..16u32 {
+                assert_eq!(rt.permutation().map(u), rt.current_id(u));
+            }
+        } else {
+            assert_eq!(rt.epoch(), 0);
+        }
+    }
+
+    #[test]
     fn current_id_tracks_composed_permutation() {
         let csr = graph();
         let mut dev = Device::new(DeviceConfig::test_tiny());
@@ -292,8 +366,7 @@ mod tests {
         // adjacency of the mapped id must equal the mapped adjacency
         let u: NodeId = 10;
         let cu = rt.current_id(u);
-        let mut expect: Vec<NodeId> =
-            csr.neighbors(u).iter().map(|&v| rt.current_id(v)).collect();
+        let mut expect: Vec<NodeId> = csr.neighbors(u).iter().map(|&v| rt.current_id(v)).collect();
         expect.sort_unstable();
         assert_eq!(rt.graph().csr().neighbors(cu), expect.as_slice());
     }

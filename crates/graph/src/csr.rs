@@ -237,10 +237,7 @@ mod tests {
     #[test]
     fn figure1_example() {
         // Figure 1 of the paper: the sorted edge list with u_offset/v.
-        let g = Csr::from_edges(
-            5,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 0)],
-        );
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 0)]);
         assert_eq!(g.offsets(), &[0, 2, 3, 5, 6, 7]);
         assert_eq!(g.targets(), &[1, 2, 3, 3, 4, 4, 0]);
     }

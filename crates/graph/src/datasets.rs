@@ -164,8 +164,18 @@ mod tests {
         let tw = GraphStats::compute(&Dataset::Twitter.generate(0.05));
         let lj = GraphStats::compute(&Dataset::Ljournal.generate(0.05));
         let fr = GraphStats::compute(&Dataset::Friendster.generate(0.05));
-        assert!(tw.degree_cv > lj.degree_cv, "twitter {} vs ljournal {}", tw.degree_cv, lj.degree_cv);
-        assert!(tw.degree_cv > fr.degree_cv, "twitter {} vs friendster {}", tw.degree_cv, fr.degree_cv);
+        assert!(
+            tw.degree_cv > lj.degree_cv,
+            "twitter {} vs ljournal {}",
+            tw.degree_cv,
+            lj.degree_cv
+        );
+        assert!(
+            tw.degree_cv > fr.degree_cv,
+            "twitter {} vs friendster {}",
+            tw.degree_cv,
+            fr.degree_cv
+        );
     }
 
     #[test]

@@ -108,6 +108,9 @@ mod tests {
     fn permutation_deterministic_in_seed() {
         let mut a = StdRng::seed_from_u64(5);
         let mut b = StdRng::seed_from_u64(5);
-        assert_eq!(random_permutation(&mut a, 100), random_permutation(&mut b, 100));
+        assert_eq!(
+            random_permutation(&mut a, 100),
+            random_permutation(&mut b, 100)
+        );
     }
 }

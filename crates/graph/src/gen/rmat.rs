@@ -64,7 +64,11 @@ mod tests {
     fn rmat_is_skewed() {
         let g = rmat_graph(12, 8, 5);
         let s = GraphStats::compute(&g);
-        assert!(s.degree_cv > 1.0, "R-MAT should be skewed, CV = {}", s.degree_cv);
+        assert!(
+            s.degree_cv > 1.0,
+            "R-MAT should be skewed, CV = {}",
+            s.degree_cv
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
         assert_eq!(g.num_nodes(), 2000);
         // symmetric: every edge has its reverse
         for (u, v) in g.edges().take(5000) {
-            assert!(g.neighbors(v).binary_search(&u).is_ok(), "missing reverse of ({u},{v})");
+            assert!(
+                g.neighbors(v).binary_search(&u).is_ok(),
+                "missing reverse of ({u},{v})"
+            );
         }
     }
 
@@ -175,7 +178,10 @@ mod tests {
         let g = social_graph(&p);
         let avg = g.num_edges() as f64 / g.num_nodes() as f64;
         // symmetrisation ~doubles, dedup removes some
-        assert!(avg > p.avg_deg * 0.8 && avg < p.avg_deg * 2.6, "avg degree {avg}");
+        assert!(
+            avg > p.avg_deg * 0.8 && avg < p.avg_deg * 2.6,
+            "avg degree {avg}"
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ mod tests {
     fn uniform_has_low_skew() {
         let g = uniform_graph(2000, 30_000, 2);
         let s = GraphStats::compute(&g);
-        assert!(s.degree_cv < 0.6, "uniform CV should be small, got {}", s.degree_cv);
+        assert!(
+            s.degree_cv < 0.6,
+            "uniform CV should be small, got {}",
+            s.degree_cv
+        );
     }
 
     #[test]

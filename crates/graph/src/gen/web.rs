@@ -103,7 +103,11 @@ mod tests {
     fn degree_distribution_is_mild() {
         let g = web_graph(3000, 8.0, 7);
         let s = GraphStats::compute(&g);
-        assert!(s.degree_cv < 2.0, "web degree CV should be mild, got {}", s.degree_cv);
+        assert!(
+            s.degree_cv < 2.0,
+            "web degree CV should be mild, got {}",
+            s.degree_cv
+        );
     }
 
     #[test]

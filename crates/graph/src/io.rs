@@ -124,8 +124,7 @@ pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
         r.read_exact(&mut buf4)?;
         targets.push(NodeId::from_le_bytes(buf4));
     }
-    Csr::from_parts(offsets, targets)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Csr::from_parts(offsets, targets).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Parse a MatrixMarket coordinate file (`%%MatrixMarket matrix coordinate
@@ -222,9 +221,9 @@ pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Csr> {
                 coo = Some(Coo::new(n));
             }
             Some("a") | Some("e") => {
-                let coo = coo
-                    .as_mut()
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "edge before p line"))?;
+                let coo = coo.as_mut().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "edge before p line")
+                })?;
                 let parse = |s: Option<&str>| -> io::Result<u64> {
                     s.ok_or_else(|| bad_line(lineno, t))?
                         .parse::<u64>()

@@ -134,11 +134,7 @@ pub fn partition_graph(g: &Csr, k: usize) -> Partitioning {
         for &v in g.neighbors(u) {
             counts[part[v as usize] as usize] += 1;
         }
-        if let Some((best_p, &best_c)) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)
-        {
+        if let Some((best_p, &best_c)) = counts.iter().enumerate().max_by_key(|&(_, c)| *c) {
             if best_p as u32 != cur
                 && best_c > counts[cur as usize]
                 && sizes[best_p] < slack

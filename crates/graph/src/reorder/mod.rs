@@ -145,11 +145,7 @@ impl Permutation {
     pub fn then(&self, then: &Permutation) -> Self {
         assert_eq!(self.len(), then.len(), "length mismatch");
         Self {
-            new_of_old: self
-                .new_of_old
-                .iter()
-                .map(|&mid| then.map(mid))
-                .collect(),
+            new_of_old: self.new_of_old.iter().map(|&mid| then.map(mid)).collect(),
         }
     }
 

@@ -50,10 +50,7 @@ impl GraphStats {
         let var = if n == 0 {
             0.0
         } else {
-            degs.iter()
-                .map(|&d| (d as f64 - mean).powi(2))
-                .sum::<f64>()
-                / n as f64
+            degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64
         };
         let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
 

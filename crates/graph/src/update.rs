@@ -67,13 +67,9 @@ impl UpdateBatch {
         let mut del = self.deletes.clone();
         del.sort_unstable();
         del.dedup();
-        let is_deleted =
-            |e: (NodeId, NodeId)| -> bool { del.binary_search(&e).is_ok() };
+        let is_deleted = |e: (NodeId, NodeId)| -> bool { del.binary_search(&e).is_ok() };
 
-        let mut edges: Vec<(NodeId, NodeId)> = g
-            .edges()
-            .filter(|&e| !is_deleted(e))
-            .collect();
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().filter(|&e| !is_deleted(e)).collect();
         for &(u, v) in &self.inserts {
             if u != v && !is_deleted((u, v)) {
                 edges.push((u, v));

@@ -1,0 +1,276 @@
+//! Bounded, work-stealing admission queue.
+//!
+//! Each worker owns a deque; submissions are distributed round-robin. A
+//! worker pops *batches* — runs of queries sharing one `(graph, app)` key —
+//! from the front of its own deque, and when idle steals a batch from the
+//! back of a victim's deque. A global counter enforces the admission
+//! capacity: once in-flight queries reach it, `push` refuses the query and
+//! the service surfaces [`crate::ServiceError::Overloaded`].
+
+use crate::types::{AppKind, GraphId, QueryRequest, TicketState};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Queries with equal keys may share one execution batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BatchKey {
+    pub(crate) graph: GraphId,
+    pub(crate) app: AppKind,
+}
+
+impl BatchKey {
+    pub(crate) fn of(request: &QueryRequest) -> Self {
+        Self {
+            graph: request.graph,
+            app: request.app,
+        }
+    }
+}
+
+/// An admitted query waiting for a worker.
+pub(crate) struct PendingQuery {
+    pub(crate) request: QueryRequest,
+    pub(crate) ticket: Arc<TicketState>,
+    pub(crate) enqueued_at: Instant,
+}
+
+impl PendingQuery {
+    fn key(&self) -> BatchKey {
+        BatchKey::of(&self.request)
+    }
+}
+
+/// The shared queue: per-worker deques + capacity gate + parking lot.
+pub(crate) struct JobQueue {
+    deques: Vec<Mutex<VecDeque<PendingQuery>>>,
+    /// Queries admitted but not yet extracted into a batch.
+    count: AtomicUsize,
+    capacity: usize,
+    /// Round-robin cursor for placement.
+    cursor: AtomicUsize,
+    shutdown: AtomicBool,
+    parking: Mutex<()>,
+    signal: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new(workers: usize, capacity: usize) -> Self {
+        assert!(workers > 0, "queue needs at least one worker deque");
+        Self {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            count: AtomicUsize::new(0),
+            capacity,
+            cursor: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            parking: Mutex::new(()),
+            signal: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queries currently admitted and waiting.
+    pub(crate) fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Admit a query, or hand it back when the queue is full or shut down.
+    pub(crate) fn push(&self, job: PendingQuery) -> Result<(), PendingQuery> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(job);
+        }
+        // optimistic reservation; undone when over capacity
+        let prev = self.count.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.capacity {
+            self.count.fetch_sub(1, Ordering::AcqRel);
+            return Err(job);
+        }
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[slot].lock().unwrap().push_back(job);
+        self.signal.notify_all();
+        Ok(())
+    }
+
+    /// Blocking pop of the next batch for `worker`: up to `max_batch`
+    /// queries sharing one key, taken from the worker's own deque front or
+    /// stolen from a victim's back. Returns `None` once the queue is shut
+    /// down *and* empty.
+    pub(crate) fn pop_batch(&self, worker: usize, max_batch: usize) -> Option<Vec<PendingQuery>> {
+        let max_batch = max_batch.max(1);
+        loop {
+            if let Some(batch) = self.try_pop_batch(worker, max_batch) {
+                return Some(batch);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                // drain fully before exiting: another deque may still hold work
+                if let Some(batch) = self.try_pop_batch(worker, max_batch) {
+                    return Some(batch);
+                }
+                return None;
+            }
+            let guard = self.parking.lock().unwrap();
+            // re-check under the lock so a push between try_pop and park is
+            // not slept through; the timeout bounds any residual race
+            if self.len() == 0 && !self.shutdown.load(Ordering::Acquire) {
+                let _ = self
+                    .signal
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap();
+            }
+        }
+    }
+
+    fn try_pop_batch(&self, worker: usize, max_batch: usize) -> Option<Vec<PendingQuery>> {
+        // own deque first: batch from the front (FIFO fairness)
+        if let Some(batch) = self.extract(worker, max_batch, false) {
+            return Some(batch);
+        }
+        // then steal: victims scanned in order, batch from the back
+        let n = self.deques.len();
+        for step in 1..n {
+            let victim = (worker + step) % n;
+            if let Some(batch) = self.extract(victim, max_batch, true) {
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    /// Remove up to `max_batch` queries matching the key of the deque's
+    /// front (or back, for steals) entry.
+    fn extract(&self, slot: usize, max_batch: usize, from_back: bool) -> Option<Vec<PendingQuery>> {
+        let mut deque = self.deques[slot].lock().unwrap();
+        let key = if from_back {
+            deque.back()?.key()
+        } else {
+            deque.front()?.key()
+        };
+        let mut batch = Vec::new();
+        let mut keep = VecDeque::with_capacity(deque.len());
+        while let Some(job) = deque.pop_front() {
+            if job.key() == key && batch.len() < max_batch {
+                batch.push(job);
+            } else {
+                keep.push_back(job);
+            }
+        }
+        *deque = keep;
+        drop(deque);
+        self.count.fetch_sub(batch.len(), Ordering::AcqRel);
+        Some(batch)
+    }
+
+    /// Stop accepting work and wake every parked worker.
+    pub(crate) fn close(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.signal.notify_all();
+    }
+
+    /// Remove every remaining query (used at shutdown to fail them).
+    pub(crate) fn drain(&self) -> Vec<PendingQuery> {
+        let mut all = Vec::new();
+        for deque in &self.deques {
+            let mut deque = deque.lock().unwrap();
+            all.extend(deque.drain(..));
+        }
+        self.count.fetch_sub(all.len(), Ordering::AcqRel);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(graph: GraphId, app: AppKind, source: u32) -> PendingQuery {
+        PendingQuery {
+            request: QueryRequest { app, graph, source },
+            ticket: Arc::new(TicketState::default()),
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn push_then_pop_roundtrips() {
+        let q = JobQueue::new(2, 8);
+        q.push(job(0, AppKind::Bfs, 3)).map_err(|_| ()).unwrap();
+        let batch = q.pop_batch(0, 4).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request.source, 3);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = JobQueue::new(1, 2);
+        assert!(q.push(job(0, AppKind::Bfs, 0)).is_ok());
+        assert!(q.push(job(0, AppKind::Bfs, 1)).is_ok());
+        assert!(
+            q.push(job(0, AppKind::Bfs, 2)).is_err(),
+            "third push must bounce"
+        );
+        let _ = q.pop_batch(0, 1).unwrap();
+        assert!(q.push(job(0, AppKind::Bfs, 2)).is_ok(), "capacity frees up");
+    }
+
+    #[test]
+    fn batch_groups_compatible_queries_and_preserves_others() {
+        let q = JobQueue::new(1, 16);
+        q.push(job(0, AppKind::Bfs, 1)).map_err(|_| ()).unwrap();
+        q.push(job(0, AppKind::Pr, 0)).map_err(|_| ()).unwrap();
+        q.push(job(0, AppKind::Bfs, 2)).map_err(|_| ()).unwrap();
+        q.push(job(1, AppKind::Bfs, 3)).map_err(|_| ()).unwrap();
+        let batch = q.pop_batch(0, 8).unwrap();
+        assert_eq!(batch.len(), 2, "both graph-0 bfs queries batch together");
+        assert!(batch
+            .iter()
+            .all(|j| j.request.app == AppKind::Bfs && j.request.graph == 0));
+        let batch = q.pop_batch(0, 8).unwrap();
+        assert_eq!(batch[0].request.app, AppKind::Pr);
+        let batch = q.pop_batch(0, 8).unwrap();
+        assert_eq!(batch[0].request.graph, 1);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn max_batch_caps_extraction() {
+        let q = JobQueue::new(1, 16);
+        for s in 0..5 {
+            q.push(job(0, AppKind::Bfs, s)).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.pop_batch(0, 3).unwrap().len(), 3);
+        assert_eq!(q.pop_batch(0, 3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_victim() {
+        let q = JobQueue::new(2, 8);
+        // cursor placement: first push lands on deque 0
+        q.push(job(0, AppKind::Bfs, 1)).map_err(|_| ()).unwrap();
+        let batch = q.pop_batch(1, 4).unwrap();
+        assert_eq!(batch.len(), 1, "worker 1 must steal worker 0's query");
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q = Arc::new(JobQueue::new(1, 8));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop_batch(0, 4));
+        q.push(job(0, AppKind::Cc, 0)).map_err(|_| ()).unwrap();
+        assert!(waiter.join().unwrap().is_some());
+        q.push(job(0, AppKind::Cc, 0)).map_err(|_| ()).unwrap();
+        q.close();
+        assert!(
+            q.push(job(0, AppKind::Cc, 1)).is_err(),
+            "closed queue rejects"
+        );
+        // shutdown still hands out queued work before returning None
+        assert!(q.pop_batch(0, 4).is_some());
+        assert!(q.pop_batch(0, 4).is_none());
+        assert_eq!(q.drain().len(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Request/response vocabulary of the query service.
+
+use gpu_sim::DeviceConfig;
+use sage::{LatencyBreakdown, RunReport};
+use sage_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Handle to a registered graph (index into the service's registry).
+pub type GraphId = u32;
+
+/// The traversal applications the service accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Breadth-first search (per-source hop distances).
+    Bfs,
+    /// PageRank (source-independent).
+    Pr,
+    /// Betweenness centrality from a source.
+    Bc,
+    /// Single-source shortest paths over synthetic weights.
+    Sssp,
+    /// Connected components (source-independent).
+    Cc,
+}
+
+impl AppKind {
+    /// Short name used in reports and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Bfs => "bfs",
+            Self::Pr => "pr",
+            Self::Bc => "bc",
+            Self::Sssp => "sssp",
+            Self::Cc => "cc",
+        }
+    }
+
+    /// Parse a CLI/user-facing app name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "bfs" => Some(Self::Bfs),
+            "pr" | "pagerank" => Some(Self::Pr),
+            "bc" => Some(Self::Bc),
+            "sssp" => Some(Self::Sssp),
+            "cc" => Some(Self::Cc),
+            _ => None,
+        }
+    }
+
+    /// Whether results depend on the query's source node. Source-independent
+    /// apps have their source normalised to 0 at admission so every request
+    /// shares one cache slot.
+    #[must_use]
+    pub fn uses_source(self) -> bool {
+        matches!(self, Self::Bfs | Self::Bc | Self::Sssp)
+    }
+
+    /// Whether same-app requests with distinct sources can share one
+    /// frontier pipeline (multi-source execution).
+    #[must_use]
+    pub fn supports_multi_source(self) -> bool {
+        matches!(self, Self::Bfs | Self::Sssp)
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One traversal query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Which application to run.
+    pub app: AppKind,
+    /// Which registered graph to run it on.
+    pub graph: GraphId,
+    /// Source node in *original* id space (ignored by source-independent
+    /// apps).
+    pub source: NodeId,
+}
+
+/// Per-node result values, always in **original** node-id space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResultValues {
+    /// BFS hop distances (-1 = unreached).
+    Depths(Vec<i32>),
+    /// SSSP distances (`u32::MAX` = unreached) or CC component labels.
+    Dists(Vec<u32>),
+    /// PageRank ranks or BC scores.
+    Scores(Vec<f32>),
+}
+
+impl ResultValues {
+    /// Number of per-node values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Depths(v) => v.len(),
+            Self::Dists(v) => v.len(),
+            Self::Scores(v) => v.len(),
+        }
+    }
+
+    /// True when no values are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A completed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The admitted request (after source normalisation).
+    pub request: QueryRequest,
+    /// Per-node results in original id space.
+    pub values: Arc<ResultValues>,
+    /// Whether the response was served from the result cache.
+    pub cache_hit: bool,
+    /// Graph epoch the result belongs to.
+    pub epoch: u64,
+    /// Number of queries that shared this response's execution batch
+    /// (1 for cache hits).
+    pub batch_size: usize,
+    /// Engine report of the run that produced the values (carries the
+    /// query-latency breakdown; zeroed `seconds` for cache hits).
+    pub report: RunReport,
+}
+
+impl QueryResponse {
+    /// Host-side end-to-end latency of this query.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyBreakdown {
+        &self.report.latency
+    }
+}
+
+/// Why the service could not take or finish a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The admission queue is at capacity — retry later (backpressure).
+    Overloaded {
+        /// The configured admission-queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The request names a graph id that was never registered.
+    UnknownGraph(GraphId),
+    /// The request's source node exceeds the graph's node count.
+    SourceOutOfRange {
+        /// Requested source node.
+        source: NodeId,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+    /// The service is shutting down and no longer accepts or finishes work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { capacity } => {
+                write!(f, "admission queue at capacity ({capacity}); retry later")
+            }
+            Self::UnknownGraph(id) => write!(f, "unknown graph id {id}"),
+            Self::SourceOutOfRange { source, nodes } => {
+                write!(
+                    f,
+                    "source {source} out of range for graph with {nodes} nodes"
+                )
+            }
+            Self::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Shared completion slot behind a [`Ticket`].
+#[derive(Default)]
+pub(crate) struct TicketState {
+    pub(crate) slot: Mutex<Option<Result<QueryResponse, ServiceError>>>,
+    pub(crate) ready: Condvar,
+}
+
+impl TicketState {
+    pub(crate) fn fulfill(&self, outcome: Result<QueryResponse, ServiceError>) {
+        let mut slot = self.slot.lock().unwrap();
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to a submitted query; blocks on [`Ticket::wait`] until a worker
+/// (or the cache fast path) fulfills it.
+pub struct Ticket {
+    pub(crate) state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the query completes.
+    ///
+    /// # Panics
+    /// Panics if the service dropped the ticket without fulfilling it (a
+    /// service bug, not a caller error).
+    #[must_use = "the response carries the query result"]
+    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.state.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still in flight.
+    #[must_use]
+    pub fn try_take(&self) -> Option<Result<QueryResponse, ServiceError>> {
+        self.state.slot.lock().unwrap().take()
+    }
+}
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker/device count (each worker owns one simulated device).
+    pub devices: usize,
+    /// Configuration each pooled device is built from.
+    pub device_config: DeviceConfig,
+    /// Admission-queue capacity across all workers; submissions beyond it
+    /// fail with [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum queries fused into one execution batch (multi-source apps
+    /// are additionally capped at 64 sources by the frontier bitmask).
+    pub max_batch: usize,
+    /// Sampling threshold for self-reordering; `None` uses the runtime
+    /// default of |E| edge accesses.
+    pub reorder_threshold: Option<u64>,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// PageRank iterations used for `pr` queries.
+    pub pr_iters: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            devices: 2,
+            device_config: DeviceConfig::default(),
+            queue_capacity: 256,
+            max_batch: 32,
+            reorder_threshold: None,
+            cache_capacity: 1024,
+            pr_iters: 10,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A small configuration for tests: tiny devices, small queue.
+    #[must_use]
+    pub fn test_config(devices: usize) -> Self {
+        Self {
+            devices,
+            device_config: DeviceConfig::test_tiny(),
+            queue_capacity: 64,
+            max_batch: 16,
+            reorder_threshold: Some(4_000),
+            cache_capacity: 256,
+            pr_iters: 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_kind_roundtrips_names() {
+        for kind in [
+            AppKind::Bfs,
+            AppKind::Pr,
+            AppKind::Bc,
+            AppKind::Sssp,
+            AppKind::Cc,
+        ] {
+            assert_eq!(AppKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(AppKind::parse("pagerank"), Some(AppKind::Pr));
+        assert_eq!(AppKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn source_independence_matches_multi_source_support() {
+        assert!(AppKind::Bfs.uses_source() && AppKind::Bfs.supports_multi_source());
+        assert!(AppKind::Sssp.uses_source() && AppKind::Sssp.supports_multi_source());
+        assert!(AppKind::Bc.uses_source() && !AppKind::Bc.supports_multi_source());
+        assert!(!AppKind::Pr.uses_source());
+        assert!(!AppKind::Cc.uses_source());
+    }
+
+    #[test]
+    fn service_error_messages_are_actionable() {
+        let e = ServiceError::Overloaded { capacity: 8 };
+        assert!(e.to_string().contains("capacity (8)"));
+        assert!(ServiceError::UnknownGraph(3).to_string().contains("3"));
+    }
+
+    #[test]
+    fn ticket_fulfill_wakes_waiter() {
+        let state = Arc::new(TicketState::default());
+        let ticket = Ticket {
+            state: Arc::clone(&state),
+        };
+        let waiter = std::thread::spawn(move || ticket.wait());
+        state.fulfill(Err(ServiceError::ShuttingDown));
+        assert_eq!(waiter.join().unwrap(), Err(ServiceError::ShuttingDown));
+    }
+}

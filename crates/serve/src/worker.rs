@@ -1,0 +1,349 @@
+//! Worker threads: each owns one simulated device plus a per-graph
+//! [`SageRuntime`], pops batches from the shared queue, executes them
+//! (fusing multi-source BFS/SSSP batches into a single frontier pipeline),
+//! maps results back to original node ids, feeds the cache, and drives the
+//! runtime's self-reordering between batches.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::msapp::{MsBfs, MsSssp, MAX_SOURCES};
+use crate::queue::{JobQueue, PendingQuery};
+use crate::types::{AppKind, GraphId, QueryResponse, ResultValues, ServiceConfig, ServiceError};
+use gpu_sim::{Device, Profiler};
+use sage::app::{Bc, Bfs, Cc, PageRank};
+use sage::{LatencyBreakdown, RunReport, SageRuntime};
+use sage_graph::{Csr, NodeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// A registered graph, shared by the service front end and every worker.
+pub(crate) struct GraphEntry {
+    pub(crate) name: String,
+    pub(crate) csr: Csr,
+    /// Service-wide id-mapping version: bumped whenever *any* worker's
+    /// runtime commits or rolls back a reordering round on this graph.
+    /// The cache keys results by it.
+    pub(crate) epoch: AtomicU64,
+}
+
+pub(crate) type Registry = Arc<RwLock<Vec<Arc<GraphEntry>>>>;
+
+/// Lazily constructed single-source apps, reused across batches so their
+/// device arrays are recycled.
+#[derive(Default)]
+struct AppSet {
+    bfs: Option<Bfs>,
+    pr: Option<PageRank>,
+    bc: Option<Bc>,
+    cc: Option<Cc>,
+}
+
+/// Per-graph adaptive state owned by one worker.
+struct WorkerGraph {
+    rt: SageRuntime,
+    /// The runtime epoch already folded into the shared `GraphEntry::epoch`.
+    seen_epoch: u64,
+    apps: AppSet,
+}
+
+/// One serving thread.
+pub(crate) struct Worker {
+    id: usize,
+    dev: Device,
+    cfg: ServiceConfig,
+    graphs: HashMap<GraphId, WorkerGraph>,
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    registry: Registry,
+    /// Where the worker publishes its device profiler for `stats()`.
+    profile_slot: Arc<Mutex<Profiler>>,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        id: usize,
+        dev: Device,
+        cfg: ServiceConfig,
+        queue: Arc<JobQueue>,
+        cache: Arc<ResultCache>,
+        registry: Registry,
+        profile_slot: Arc<Mutex<Profiler>>,
+    ) -> Self {
+        Self {
+            id,
+            dev,
+            cfg,
+            graphs: HashMap::new(),
+            queue,
+            cache,
+            registry,
+            profile_slot,
+        }
+    }
+
+    /// Serve batches until the queue closes and drains.
+    pub(crate) fn run(mut self) {
+        let queue = Arc::clone(&self.queue);
+        while let Some(batch) = queue.pop_batch(self.id, self.cfg.max_batch) {
+            self.process_batch(batch);
+            *self.profile_slot.lock().unwrap() = self.dev.profiler_snapshot();
+        }
+    }
+
+    fn process_batch(&mut self, batch: Vec<PendingQuery>) {
+        let pickup = Instant::now();
+        let gid = batch[0].request.graph;
+        let app = batch[0].request.app;
+        let Some(entry) = self.registry.read().unwrap().get(gid as usize).cloned() else {
+            for job in batch {
+                job.ticket.fulfill(Err(ServiceError::UnknownGraph(gid)));
+            }
+            return;
+        };
+
+        let state = self.graphs.entry(gid).or_insert_with(|| {
+            let rt = match self.cfg.reorder_threshold {
+                Some(t) => SageRuntime::with_threshold(&mut self.dev, entry.csr.clone(), t),
+                None => SageRuntime::new(&mut self.dev, entry.csr.clone()),
+            };
+            WorkerGraph {
+                rt,
+                seen_epoch: 0,
+                apps: AppSet::default(),
+            }
+        });
+        let epoch = entry.epoch.load(Ordering::Acquire);
+
+        // a submission-time miss may have been filled while the query sat in
+        // the queue — re-check before paying for execution
+        let mut misses: Vec<PendingQuery> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let key = CacheKey {
+                graph: gid,
+                app,
+                source: job.request.source,
+                epoch,
+            };
+            match self.cache.get(&key) {
+                Some(values) => {
+                    let latency = LatencyBreakdown {
+                        queue_seconds: (pickup - job.enqueued_at).as_secs_f64(),
+                        ..LatencyBreakdown::default()
+                    };
+                    job.ticket.fulfill(Ok(QueryResponse {
+                        request: job.request,
+                        values,
+                        cache_hit: true,
+                        epoch,
+                        batch_size: 1,
+                        report: cache_hit_report(app, latency),
+                    }));
+                }
+                None => misses.push(job),
+            }
+        }
+        if misses.is_empty() {
+            return;
+        }
+
+        // unique sources, first-seen order; slot map per query
+        let mut sources: Vec<NodeId> = Vec::new();
+        let mut slot_of: HashMap<NodeId, usize> = HashMap::new();
+        for job in &misses {
+            slot_of.entry(job.request.source).or_insert_with(|| {
+                sources.push(job.request.source);
+                sources.len() - 1
+            });
+        }
+
+        let exec_start = Instant::now();
+        let (values_by_slot, mut report) = execute(&mut self.dev, state, &self.cfg, app, &sources);
+        let exec_seconds = exec_start.elapsed().as_secs_f64();
+
+        let remap_start = Instant::now();
+        for (slot, values) in values_by_slot.iter().enumerate() {
+            self.cache.insert(
+                CacheKey {
+                    graph: gid,
+                    app,
+                    source: sources[slot],
+                    epoch,
+                },
+                Arc::clone(values),
+            );
+        }
+        let remap_seconds = remap_start.elapsed().as_secs_f64();
+
+        report.latency.exec_seconds = exec_seconds;
+        report.latency.remap_seconds = remap_seconds;
+        let batch_size = misses.len();
+        let batch_seconds = (exec_start - pickup).as_secs_f64();
+        for job in misses {
+            let mut per_query = report.clone();
+            per_query.latency.queue_seconds = (pickup - job.enqueued_at).as_secs_f64();
+            per_query.latency.batch_seconds = batch_seconds;
+            let slot = slot_of[&job.request.source];
+            job.ticket.fulfill(Ok(QueryResponse {
+                request: job.request,
+                values: Arc::clone(&values_by_slot[slot]),
+                cache_hit: false,
+                epoch,
+                batch_size,
+                report: per_query,
+            }));
+        }
+
+        // between batches: let the runtime adapt, then fold any epoch
+        // change into the shared graph epoch so caches invalidate
+        let _ = state.rt.maybe_reorder(&mut self.dev);
+        let rt_epoch = state.rt.epoch();
+        if rt_epoch != state.seen_epoch {
+            let delta = rt_epoch - state.seen_epoch;
+            state.seen_epoch = rt_epoch;
+            let now = entry.epoch.fetch_add(delta, Ordering::AcqRel) + delta;
+            self.cache.sweep_stale(gid, now);
+        }
+    }
+}
+
+/// Run `app` for the unique `sources` (original ids) on this worker's
+/// runtime. Returns one result per source (source-independent apps receive a
+/// single `sources == [0]` slot) plus the merged engine report.
+fn execute(
+    dev: &mut Device,
+    state: &mut WorkerGraph,
+    cfg: &ServiceConfig,
+    app: AppKind,
+    sources: &[NodeId],
+) -> (Vec<Arc<ResultValues>>, RunReport) {
+    let mut values: Vec<Arc<ResultValues>> = Vec::with_capacity(sources.len());
+    let mut report: Option<RunReport> = None;
+    let merge = |r: RunReport, report: &mut Option<RunReport>| match report {
+        Some(agg) => agg.accumulate(&r),
+        None => *report = Some(r),
+    };
+    match app {
+        AppKind::Bfs if sources.len() > 1 => {
+            for chunk in sources.chunks(MAX_SOURCES) {
+                let cur: Vec<NodeId> = chunk.iter().map(|&s| state.rt.current_id(s)).collect();
+                let mut ms = MsBfs::new(dev, &cur);
+                merge(state.rt.run(dev, &mut ms, chunk[0]), &mut report);
+                for j in 0..chunk.len() {
+                    values.push(Arc::new(ResultValues::Depths(
+                        state.rt.to_original_order(&ms.distances_for(j)),
+                    )));
+                }
+            }
+        }
+        AppKind::Bfs => {
+            let bfs = state.apps.bfs.get_or_insert_with(|| Bfs::new(dev));
+            merge(state.rt.run(dev, bfs, sources[0]), &mut report);
+            values.push(Arc::new(ResultValues::Depths(
+                state.rt.to_original_order(bfs.distances()),
+            )));
+        }
+        AppKind::Sssp => {
+            // always the multi-source app (even for one source): it derives
+            // edge weights from original ids, so distances stay invariant
+            // under the runtime's reordering
+            let orig_of = state.rt.permutation().inverse().as_slice().to_vec();
+            for chunk in sources.chunks(MAX_SOURCES) {
+                let cur: Vec<NodeId> = chunk.iter().map(|&s| state.rt.current_id(s)).collect();
+                let mut ms = MsSssp::new(dev, &cur).with_weight_ids(orig_of.clone());
+                merge(state.rt.run(dev, &mut ms, chunk[0]), &mut report);
+                for j in 0..chunk.len() {
+                    values.push(Arc::new(ResultValues::Dists(
+                        state.rt.to_original_order(&ms.distances_for(j)),
+                    )));
+                }
+            }
+        }
+        AppKind::Bc => {
+            // no bitmask trick for BC's forward/backward phases: one run per
+            // distinct source, still sharing the batch's queue/remap costs
+            for &s in sources {
+                let bc = state.apps.bc.get_or_insert_with(|| Bc::new(dev));
+                merge(state.rt.run(dev, bc, s), &mut report);
+                values.push(Arc::new(ResultValues::Scores(
+                    state.rt.to_original_order(bc.scores()),
+                )));
+            }
+        }
+        AppKind::Pr => {
+            let iters = cfg.pr_iters;
+            let pr = state
+                .apps
+                .pr
+                .get_or_insert_with(|| PageRank::new(dev, iters, 1e-6));
+            merge(state.rt.run(dev, pr, 0), &mut report);
+            values.push(Arc::new(ResultValues::Scores(
+                state.rt.to_original_order(pr.ranks()),
+            )));
+        }
+        AppKind::Cc => {
+            let cc = state.apps.cc.get_or_insert_with(|| Cc::new(dev));
+            merge(state.rt.run(dev, cc, 0), &mut report);
+            values.push(Arc::new(ResultValues::Dists(canonical_labels(
+                &state.rt.to_original_order(cc.labels()),
+            ))));
+        }
+    }
+    (
+        values,
+        report.expect("every app kind executes at least one run"),
+    )
+}
+
+/// Rewrite component labels to the minimum *original* node id of each
+/// component, so CC results are invariant under the runtime's reordering.
+fn canonical_labels(labels_in_original_order: &[u32]) -> Vec<u32> {
+    let mut representative: HashMap<u32, u32> = HashMap::new();
+    for (i, &lab) in labels_in_original_order.iter().enumerate() {
+        representative.entry(lab).or_insert(i as u32);
+    }
+    labels_in_original_order
+        .iter()
+        .map(|lab| representative[lab])
+        .collect()
+}
+
+pub(crate) fn cache_hit_report(app: AppKind, latency: LatencyBreakdown) -> RunReport {
+    RunReport {
+        app: app.name().to_string(),
+        engine: "serve-cache".to_string(),
+        iterations: 0,
+        edges: 0,
+        seconds: 0.0,
+        overhead_seconds: 0.0,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_labels_use_min_member_and_are_stable() {
+        // two components {0,2,3} and {1,4}, labelled arbitrarily
+        let labels = vec![7, 9, 7, 7, 9];
+        assert_eq!(canonical_labels(&labels), vec![0, 1, 0, 0, 1]);
+        // a different arbitrary labelling of the same partition canonicalises
+        // to the same result
+        let relabelled = vec![3, 5, 3, 3, 5];
+        assert_eq!(canonical_labels(&relabelled), canonical_labels(&labels));
+    }
+
+    #[test]
+    fn cache_hit_report_is_zeroed_but_keeps_latency() {
+        let lat = LatencyBreakdown {
+            queue_seconds: 0.25,
+            ..LatencyBreakdown::default()
+        };
+        let r = cache_hit_report(AppKind::Pr, lat);
+        assert_eq!(r.edges, 0);
+        assert_eq!(r.seconds, 0.0);
+        assert!((r.latency.queue_seconds - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property test: interleaving queries with self-reordering rounds never
+//! changes what a caller observes — cached and fresh responses agree with
+//! each other and with the host reference, before and after any number of
+//! committed or rolled-back reorder rounds.
+
+use proptest::prelude::*;
+use sage::reference;
+use sage_graph::gen::uniform_graph;
+use sage_serve::{AppKind, QueryRequest, ResultValues, SageService, ServiceConfig};
+
+const NODES: usize = 160;
+
+/// Reference CC labels are min-node-id label propagation, which is exactly
+/// the service's canonical form; pass them through unchanged.
+fn reference_values(app: AppKind, csr: &sage_graph::Csr, source: u32) -> ResultValues {
+    match app {
+        AppKind::Bfs => ResultValues::Depths(reference::bfs_levels(csr, source)),
+        AppKind::Sssp => ResultValues::Dists(reference::sssp_dists(csr, source)),
+        AppKind::Cc => ResultValues::Dists(reference::cc_labels(csr)),
+        _ => unreachable!("property only exercises deterministic apps"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_and_fresh_results_agree_across_reorder_rounds(
+        seed in 0u64..200,
+        ops in prop::collection::vec((0usize..3, 0u32..(NODES as u32)), 2..9),
+    ) {
+        let mut cfg = ServiceConfig::test_config(2);
+        // small threshold: reorder rounds fire between (and interleave with)
+        // the queries below
+        cfg.reorder_threshold = Some(1_200);
+        let service = SageService::start(cfg);
+        let csr = uniform_graph(NODES, NODES * 8, seed);
+        let g = service.register_graph("prop", csr.clone());
+
+        for &(app_sel, source) in &ops {
+            let app = [AppKind::Bfs, AppKind::Sssp, AppKind::Cc][app_sel];
+            let req = QueryRequest { app, graph: g, source };
+            // first query is fresh (or a hit from an earlier op), the second
+            // usually hits the cache — unless a reorder bumped the epoch in
+            // between, in which case it recomputes on the new order
+            let first = service.query(req).unwrap();
+            let second = service.query(req).unwrap();
+            let source = if app.uses_source() { source } else { 0 };
+            let expect = reference_values(app, &csr, source);
+            prop_assert_eq!(
+                &*first.values, &expect,
+                "app {} source {} (epoch {})", app, source, first.epoch
+            );
+            prop_assert_eq!(
+                &*second.values, &expect,
+                "app {} source {} cached={} (epoch {})",
+                app, source, second.cache_hit, second.epoch
+            );
+            if second.cache_hit {
+                prop_assert_eq!(&*first.values, &*second.values);
+            }
+        }
+        let stats = service.stats();
+        prop_assert!(stats.cache_hits + stats.cache_misses > 0);
+        service.shutdown();
+    }
+}

@@ -201,10 +201,8 @@ impl DeviceConfig {
         let mut cfg = Self::quadro_rtx_8000();
         // paper datasets are ~400x larger than scale-1.0 synthetics
         let shrink = (scale / 400.0).min(1.0);
-        cfg.l2.capacity_bytes =
-            ((cfg.l2.capacity_bytes as f64 * shrink) as usize).max(16 * 1024);
-        cfg.l1.capacity_bytes =
-            ((cfg.l1.capacity_bytes as f64 * shrink) as usize).max(1024);
+        cfg.l2.capacity_bytes = ((cfg.l2.capacity_bytes as f64 * shrink) as usize).max(16 * 1024);
+        cfg.l1.capacity_bytes = ((cfg.l1.capacity_bytes as f64 * shrink) as usize).max(1024);
         cfg.name = format!("Quadro RTX 8000 (sim, cache scale {shrink:.2e})");
         cfg
     }

@@ -50,7 +50,8 @@ impl Cpu {
         // Interpolate cycles/edge between hot and cold by how far the working
         // set exceeds the LLC.
         let pressure = (working_set_bytes as f64 / c.llc_bytes as f64).min(1.0);
-        let cpe = c.cycles_per_edge_hot + pressure * (c.cycles_per_edge_cold - c.cycles_per_edge_hot);
+        let cpe =
+            c.cycles_per_edge_hot + pressure * (c.cycles_per_edge_cold - c.cycles_per_edge_hot);
         let compute = edges as f64 * cpe / (c.cores as f64 * c.clock_hz) * imbalance.max(1.0);
         let bw = bytes_touched as f64 / c.dram_bandwidth_bytes_per_sec;
         let t = compute.max(bw) + c.parallel_overhead_sec;

@@ -167,6 +167,13 @@ impl Device {
         &self.profiler
     }
 
+    /// Owned copy of the profiler counters at this instant — the form a
+    /// monitoring layer ships off-thread as a per-device metrics sample.
+    #[must_use]
+    pub fn profiler_snapshot(&self) -> Profiler {
+        self.profiler.clone()
+    }
+
     /// Clear profiler counters (including the per-kernel breakdown).
     pub fn reset_profiler(&mut self) {
         self.profiler = Profiler::default();

@@ -378,11 +378,8 @@ impl<'d> Kernel<'d> {
         };
         let pcie_cycles = pcie_seconds * cfg.clock_hz;
 
-        let cycles = max_sm
-            .max(dram_bound)
-            .max(l2_bound)
-            .max(pcie_cycles)
-            + cfg.kernel_launch_cycles as f64;
+        let cycles =
+            max_sm.max(dram_bound).max(l2_bound).max(pcie_cycles) + cfg.kernel_launch_cycles as f64;
 
         totals.pcie_bytes = self.host_bytes;
         totals.pcie_requests = self.host_requests;
@@ -423,7 +420,10 @@ mod tests {
         let mut d = dev();
         let k = d.launch("noop");
         let r = k.finish();
-        assert_eq!(r.cycles, DeviceConfig::test_tiny().kernel_launch_cycles as f64);
+        assert_eq!(
+            r.cycles,
+            DeviceConfig::test_tiny().kernel_launch_cycles as f64
+        );
         assert_eq!(r.active_sms, 0);
     }
 

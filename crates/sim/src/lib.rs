@@ -57,6 +57,6 @@ pub use device::Device;
 pub use host::{PoolAccess, UmPool};
 pub use kernel::{AccessKind, Kernel, KernelReport};
 pub use mem::{Allocator, DeviceArray, MemSpace};
-pub use multi::DeviceGroup;
+pub use multi::{device_pool, DeviceGroup};
 pub use profile::Profiler;
 pub use tile::Tile;

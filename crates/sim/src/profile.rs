@@ -110,7 +110,11 @@ impl fmt::Display for Profiler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "kernels:          {}", self.kernels)?;
         writeln!(f, "warp insts:       {:.0}", self.warp_insts)?;
-        writeln!(f, "simt efficiency:  {:.1}%", self.simt_efficiency() * 100.0)?;
+        writeln!(
+            f,
+            "simt efficiency:  {:.1}%",
+            self.simt_efficiency() * 100.0
+        )?;
         writeln!(f, "mem requests:     {}", self.mem_requests)?;
         writeln!(
             f,
@@ -119,9 +123,17 @@ impl fmt::Display for Profiler {
         )?;
         writeln!(f, "l1 hit rate:      {:.1}%", self.l1_hit_rate() * 100.0)?;
         writeln!(f, "l2 hit rate:      {:.1}%", self.l2_hit_rate() * 100.0)?;
-        writeln!(f, "atomics:          {} ({} conflicts)", self.atomics, self.atomic_conflicts)?;
+        writeln!(
+            f,
+            "atomics:          {} ({} conflicts)",
+            self.atomics, self.atomic_conflicts
+        )?;
         writeln!(f, "syncs:            {}", self.syncs)?;
-        writeln!(f, "pcie:             {} B in {} reqs", self.pcie_bytes, self.pcie_requests)?;
+        writeln!(
+            f,
+            "pcie:             {} B in {} reqs",
+            self.pcie_bytes, self.pcie_requests
+        )?;
         writeln!(f, "peer bytes:       {}", self.peer_bytes)?;
         write!(f, "cycles:           {:.0}", self.cycles)
     }

@@ -28,7 +28,10 @@ impl Tile {
     /// require power-of-two sizes).
     #[must_use]
     pub fn new(size: usize) -> Self {
-        assert!(size > 0 && size.is_power_of_two(), "tile size must be a power of two");
+        assert!(
+            size > 0 && size.is_power_of_two(),
+            "tile size must be a power of two"
+        );
         Self { size }
     }
 
@@ -65,7 +68,12 @@ pub fn charge_vote(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
     let cfg_vote = k.cfg().vote_cycles;
     // each warp ballots, then a log-depth combine for multi-warp tiles
     let insts = w as u64 * cfg_vote + (w as u64).next_power_of_two().trailing_zeros() as u64;
-    k.exec(sm, insts, tile.size().min(k.cfg().warp_size), k.cfg().warp_size);
+    k.exec(
+        sm,
+        insts,
+        tile.size().min(k.cfg().warp_size),
+        k.cfg().warp_size,
+    );
     if w > 1 {
         k.sync(sm);
     }
@@ -77,7 +85,12 @@ pub fn charge_vote(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
 pub fn charge_shfl(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
     let w = tile.warps(k.cfg());
     let insts = w as u64 * k.cfg().shuffle_cycles;
-    k.exec(sm, insts, tile.size().min(k.cfg().warp_size), k.cfg().warp_size);
+    k.exec(
+        sm,
+        insts,
+        tile.size().min(k.cfg().warp_size),
+        k.cfg().warp_size,
+    );
     if w > 1 {
         k.sync(sm);
     }
@@ -90,7 +103,12 @@ pub fn charge_shfl(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
 pub fn charge_partition(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
     let w = tile.warps(k.cfg());
     let insts = 2 + w as u64;
-    k.exec(sm, insts, tile.size().min(k.cfg().warp_size), k.cfg().warp_size);
+    k.exec(
+        sm,
+        insts,
+        tile.size().min(k.cfg().warp_size),
+        k.cfg().warp_size,
+    );
     if w > 1 {
         k.sync(sm);
     }

@@ -120,7 +120,10 @@ fn profiler_counters_consistent_with_run() {
     let mut app = Bfs::new(&mut dev);
     let r = Runner::new().run(&mut dev, &g, &mut engine, &mut app, 0);
     let p = dev.profiler();
-    assert!(p.kernels as usize >= r.iterations, "at least one kernel per iteration");
+    assert!(
+        p.kernels as usize >= r.iterations,
+        "at least one kernel per iteration"
+    );
     assert!(p.mem_requests > 0);
     assert!(p.total_sectors() > 0);
     assert!(p.simt_efficiency() > 0.0 && p.simt_efficiency() <= 1.0);

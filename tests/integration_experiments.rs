@@ -135,7 +135,10 @@ fn fig10_tp_and_rts_improve_on_twitter() {
         tp > base,
         "Tiled Partitioning must improve the skewed baseline: {base} -> {tp}"
     );
-    assert!(rts > tp, "Resident Tile Stealing must improve on TP: {tp} -> {rts}");
+    assert!(
+        rts > tp,
+        "Resident Tile Stealing must improve on TP: {tp} -> {rts}"
+    );
 }
 
 #[test]

@@ -4,8 +4,8 @@
 use gpu_sim::Device;
 use sage::app::{Bc, Bfs, Cc, KCore, Mis, MisStatus, PageRank, Sssp};
 use sage::engine::{
-    B40cEngine, Engine, GunrockEngine, LigraEngine, NaiveEngine, ResidentEngine,
-    TiledPartitioningEngine, TigrEngine,
+    B40cEngine, Engine, GunrockEngine, LigraEngine, NaiveEngine, ResidentEngine, TigrEngine,
+    TiledPartitioningEngine,
 };
 use sage::{reference, DeviceGraph, Runner};
 use sage_graph::datasets::Dataset;
@@ -59,7 +59,12 @@ fn cc_all_engines() {
         let g = DeviceGraph::upload(&mut dev, csr.clone());
         let mut app = Cc::new(&mut dev);
         let _ = Runner::new().run(&mut dev, &g, engine.as_mut(), &mut app, 0);
-        assert_eq!(app.labels(), expect.as_slice(), "CC mismatch: {}", engine.name());
+        assert_eq!(
+            app.labels(),
+            expect.as_slice(),
+            "CC mismatch: {}",
+            engine.name()
+        );
     }
 }
 

@@ -120,13 +120,20 @@ fn single_gpu_resident_engine_is_fastest_of_the_three_scenarios() {
         let g = DeviceGraph::upload(&mut dev, csr.clone());
         let mut engine = ResidentEngine::new();
         let mut app = Bfs::new(&mut dev);
-        Runner::new().run(&mut dev, &g, &mut engine, &mut app, 0).seconds
+        Runner::new()
+            .run(&mut dev, &g, &mut engine, &mut app, 0)
+            .seconds
     };
     let ooc = {
         let mut dev = Device::default_device();
         let (g, mut engine) = sage_out_of_core(&mut dev, csr.clone());
         let mut app = Bfs::new(&mut dev);
-        Runner::new().run(&mut dev, &g, &mut engine, &mut app, 0).seconds
+        Runner::new()
+            .run(&mut dev, &g, &mut engine, &mut app, 0)
+            .seconds
     };
-    assert!(in_core < ooc, "in-core {in_core} must beat out-of-core {ooc}");
+    assert!(
+        in_core < ooc,
+        "in-core {in_core} must beat out-of-core {ooc}"
+    );
 }
