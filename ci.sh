@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== traversal_bench (writes BENCH_traversal.json) =="
+# asserts adaptive >= push-only on BFS and bitwise-identical outputs,
+# and self-validates the emitted JSON — a non-zero exit fails CI
+cargo run --release -q -p sage-bench --bin traversal_bench
+test -s BENCH_traversal.json || { echo "BENCH_traversal.json missing"; exit 1; }
+
 echo "== serve_bench (writes BENCH_serve.json) =="
 cargo run --release -q -p sage-bench --bin serve_bench
 

@@ -3,6 +3,7 @@
 //! ```text
 //! sage_cli <app> [--graph FILE | --dataset NAME] [--engine NAME]
 //!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
+//!          [--push-only]
 //!
 //!   app       bfs | bc | pr | cc | sssp | mis | kcore | serve
 //!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
@@ -13,6 +14,7 @@
 //!   --repeat  runs to average (default 1; resident tiles warm up across runs)
 //!   --out-of-core  place the graph in host memory behind PCIe
 //!   --profile print Nsight-style counters after the run
+//!   --push-only disable the adaptive direction optimizer (always push)
 //!
 //! serve mode (concurrent query service over a device pool):
 //!   sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]
@@ -45,6 +47,7 @@ struct Args {
     repeat: usize,
     out_of_core: bool,
     profile: bool,
+    push_only: bool,
     devices: usize,
     requests: usize,
 }
@@ -53,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sage_cli <bfs|bc|pr|cc|sssp|mis|kcore> [--graph FILE | --dataset NAME] \
          [--engine sage|sage-tp|naive|b40c|tigr|gunrock|ligra] [--source N] \
-         [--scale F] [--repeat N] [--out-of-core] [--profile]\n\
+         [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only]\n\
          \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]"
     );
     exit(2)
@@ -76,6 +79,7 @@ fn parse_args() -> Args {
         repeat: 1,
         out_of_core: false,
         profile: false,
+        push_only: false,
         devices: 2,
         requests: 64,
     };
@@ -95,6 +99,7 @@ fn parse_args() -> Args {
             "--repeat" => args.repeat = value("--repeat").parse().unwrap_or_else(|_| usage()),
             "--out-of-core" => args.out_of_core = true,
             "--profile" => args.profile = true,
+            "--push-only" => args.push_only = true,
             "--devices" => args.devices = value("--devices").parse().unwrap_or_else(|_| usage()),
             "--requests" => {
                 args.requests = value("--requests").parse().unwrap_or_else(|_| usage());
@@ -266,9 +271,11 @@ fn main() {
         make_engine(&args.engine, &mut dev, &csr)
     };
     let g = if args.out_of_core {
+        // host-resident graphs stay push-only: the in-edge view would
+        // double the PCIe-resident footprint
         DeviceGraph::upload_host(&mut dev, csr)
     } else {
-        DeviceGraph::upload(&mut dev, csr)
+        DeviceGraph::upload(&mut dev, csr).with_in_edges(&mut dev)
     };
 
     let mut app: Box<dyn App> = match args.app.as_str() {
@@ -282,7 +289,11 @@ fn main() {
         _ => unreachable!(),
     };
 
-    let runner = Runner::new();
+    let runner = if args.push_only {
+        Runner::push_only()
+    } else {
+        Runner::new()
+    };
     for i in 0..args.repeat.max(1) {
         let r = runner.run(&mut dev, &g, engine.as_mut(), app.as_mut(), args.source);
         println!("run {i}: {r}");

@@ -49,14 +49,16 @@ struct PhaseStats {
     edges: u64,
     sim_seconds: f64,
     max_batch_seen: usize,
+    truncated: usize,
 }
 
 impl PhaseStats {
-    fn gteps(&self) -> f64 {
-        if self.sim_seconds <= 0.0 {
-            0.0
+    fn gteps(&self) -> Option<f64> {
+        // an all-cache-hit phase traverses nothing: no throughput to report
+        if self.edges == 0 || self.sim_seconds <= 0.0 {
+            None
         } else {
-            self.edges as f64 / self.sim_seconds / 1e9
+            Some(self.edges as f64 / self.sim_seconds / 1e9)
         }
     }
 
@@ -77,12 +79,15 @@ impl PhaseStats {
     }
 
     fn json(&self) -> String {
+        // sub-ms latencies need the full {:.6} precision: at {:.3} a 200 ns
+        // cache-hit percentile rounds to a flat 0.000
         format!(
             "{{\"label\": \"{}\", \"queries\": {}, \"cache_hits\": {}, \
              \"cache_hit_rate\": {:.4}, \"wall_seconds\": {:.6}, \
-             \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
-             \"p99_ms\": {:.4}, \"mean_ms\": {:.4}, \"edges\": {}, \
-             \"sim_seconds\": {:.6}, \"gteps\": {:.4}, \"max_batch\": {}}}",
+             \"qps\": {:.1}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
+             \"p99_ms\": {:.6}, \"mean_ms\": {:.6}, \"edges\": {}, \
+             \"sim_seconds\": {:.6}, \"gteps\": {}, \"max_batch\": {}, \
+             \"truncated\": {}}}",
             self.label,
             self.queries,
             self.cache_hits,
@@ -95,8 +100,10 @@ impl PhaseStats {
             self.mean_ms,
             self.edges,
             self.sim_seconds,
-            self.gteps(),
+            self.gteps()
+                .map_or_else(|| "null".to_string(), |g| format!("{g:.4}")),
             self.max_batch_seen,
+            self.truncated,
         )
     }
 }
@@ -141,22 +148,29 @@ fn run_phase(label: &'static str, service: &SageService, requests: &[QueryReques
         edges,
         sim_seconds,
         max_batch_seen: responses.iter().map(|r| r.batch_size).max().unwrap_or(0),
+        truncated: responses.iter().filter(|r| !r.report.converged).count(),
     }
 }
 
 fn print_phase(p: &PhaseStats) {
     println!(
-        "{:<6} {:>4} queries | p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms | \
-         {:>7.1} q/s | {:.3} GTEPS | hit rate {:>5.1}% | max batch {}",
+        "{:<6} {:>4} queries | p50 {:>10.4} ms  p95 {:>10.4} ms  p99 {:>10.4} ms | \
+         {:>7.1} q/s | {} | hit rate {:>5.1}% | max batch {}{}",
         p.label,
         p.queries,
         p.p50_ms,
         p.p95_ms,
         p.p99_ms,
         p.qps(),
-        p.gteps(),
+        p.gteps()
+            .map_or_else(|| "-     GTEPS".to_string(), |g| format!("{g:.3} GTEPS")),
         p.hit_rate() * 100.0,
         p.max_batch_seen,
+        if p.truncated > 0 {
+            format!(" | {} truncated", p.truncated)
+        } else {
+            String::new()
+        },
     );
 }
 

@@ -1,0 +1,283 @@
+//! `traversal_bench` — push-only vs adaptive direction-optimizing traversal.
+//!
+//! Runs BFS / PR / CC on a scrambled power-law social graph from the
+//! max-degree source, once with the classic push-only pipeline and once
+//! with the Beamer-style adaptive runner, on identical fresh devices.
+//! Verifies the two pipelines produce bitwise-identical outputs, asserts
+//! the adaptive runner actually wins on BFS (simulated seconds and GTEPS,
+//! with at least one pull iteration in the trace), and writes the
+//! per-iteration direction trace and both measurements to
+//! `BENCH_traversal.json` for the perf trajectory.
+//!
+//! Knobs (environment):
+//! - `SAGE_SCALE`  node-count scale factor (default 1.0 → 6000 nodes)
+
+use gpu_sim::{Device, DeviceConfig};
+use sage::app::{Bfs, Cc, PageRank};
+use sage::engine::ResidentEngine;
+use sage::{DeviceGraph, RunReport, Runner};
+use sage_graph::gen::{social_graph, SocialParams};
+use sage_graph::Csr;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured run: the report plus the app's output as raw bit patterns
+/// (so float outputs compare bitwise, not approximately).
+fn run_app(csr: &Csr, app_name: &str, source: u32, push_only: bool) -> (RunReport, Vec<u32>) {
+    let mut dev = Device::new(DeviceConfig::scaled_rtx_8000(0.05));
+    let g = DeviceGraph::upload(&mut dev, csr.clone()).with_in_edges(&mut dev);
+    let mut engine = ResidentEngine::new();
+    let runner = if push_only {
+        Runner::push_only()
+    } else {
+        Runner::new()
+    };
+    match app_name {
+        "bfs" => {
+            let mut app = Bfs::new(&mut dev);
+            let r = runner.run(&mut dev, &g, &mut engine, &mut app, source);
+            let out = app.distances().iter().map(|&d| d as u32).collect();
+            (r, out)
+        }
+        "pr" => {
+            let mut app = PageRank::new(&mut dev, 20, 0.0);
+            let r = runner.run(&mut dev, &g, &mut engine, &mut app, source);
+            let out = app.ranks().iter().map(|p| p.to_bits()).collect();
+            (r, out)
+        }
+        "cc" => {
+            let mut app = Cc::new(&mut dev);
+            let r = runner.run(&mut dev, &g, &mut engine, &mut app, source);
+            let out = app.labels().to_vec();
+            (r, out)
+        }
+        other => unreachable!("unknown app {other}"),
+    }
+}
+
+fn report_json(r: &RunReport) -> String {
+    format!(
+        "{{\"iterations\": {}, \"edges\": {}, \"edges_examined\": {}, \
+         \"seconds\": {:.9}, \"gteps\": {:.4}, \"trace\": \"{}\", \
+         \"converged\": {}}}",
+        r.iterations,
+        r.edges,
+        r.edges_examined,
+        r.seconds,
+        r.gteps(),
+        r.direction_trace,
+        r.converged,
+    )
+}
+
+/// Minimal JSON syntax check — enough to guarantee the emitted file parses
+/// without pulling in a JSON dependency.
+fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    ws(b, i);
+                    string(b, i)?;
+                    ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}", i = *i));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}", i = *i)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}", i = *i)),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                while *i < b.len()
+                    && (b[*i].is_ascii_digit() || matches!(b[*i], b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                for lit in ["true", "false", "null"] {
+                    if b[*i..].starts_with(lit.as_bytes()) {
+                        *i += lit.len();
+                        return Ok(());
+                    }
+                }
+                Err(format!("unexpected byte at {i}", i = *i))
+            }
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {i}", i = *i));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'\\' => *i += 2,
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    value(b, &mut i)?;
+    ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(format!("trailing bytes at {i}"))
+    }
+}
+
+fn main() {
+    let scale = env_f64("SAGE_SCALE", 1.0);
+    let nodes = ((6_000.0 * scale) as usize).max(512);
+    let csr = social_graph(&SocialParams {
+        nodes,
+        avg_deg: 16.0,
+        alpha: 1.9,
+        max_deg_frac: 0.2,
+        ..SocialParams::default()
+    });
+    let (source, _) = csr.max_degree();
+    eprintln!(
+        "traversal_bench: {} nodes / {} edges, source {source}",
+        csr.num_nodes(),
+        csr.num_edges()
+    );
+
+    let mut failed = false;
+    let mut app_jsons: Vec<String> = Vec::new();
+    for app in ["bfs", "pr", "cc"] {
+        let (push, out_push) = run_app(&csr, app, source, true);
+        let (adaptive, out_adaptive) = run_app(&csr, app, source, false);
+        let identical = out_push == out_adaptive;
+        let speedup = push.seconds / adaptive.seconds.max(f64::MIN_POSITIVE);
+        println!(
+            "{app:<3} push     {:>2} iters {:>9} edges examined  {:>10.6} ms  {:>7.3} GTEPS  [{}]",
+            push.iterations,
+            push.edges_examined,
+            push.seconds * 1e3,
+            push.gteps(),
+            push.direction_trace,
+        );
+        println!(
+            "{app:<3} adaptive {:>2} iters {:>9} edges examined  {:>10.6} ms  {:>7.3} GTEPS  [{}]  \
+             {:.2}x  outputs {}",
+            adaptive.iterations,
+            adaptive.edges_examined,
+            adaptive.seconds * 1e3,
+            adaptive.gteps(),
+            adaptive.direction_trace,
+            speedup,
+            if identical { "identical" } else { "DIVERGED" },
+        );
+        if !identical {
+            eprintln!("FAIL: {app} outputs differ between push-only and adaptive");
+            failed = true;
+        }
+        if app == "bfs" {
+            if !adaptive.direction_trace.contains('<') {
+                eprintln!(
+                    "FAIL: bfs adaptive trace has no pull iteration: {}",
+                    adaptive.direction_trace
+                );
+                failed = true;
+            }
+            if adaptive.seconds >= push.seconds || adaptive.gteps() <= push.gteps() {
+                eprintln!(
+                    "FAIL: bfs adaptive must beat push-only: {:.6} ms / {:.3} GTEPS vs {:.6} ms / {:.3} GTEPS",
+                    adaptive.seconds * 1e3,
+                    adaptive.gteps(),
+                    push.seconds * 1e3,
+                    push.gteps(),
+                );
+                failed = true;
+            }
+        }
+        app_jsons.push(format!(
+            "{{\"app\": \"{app}\", \"identical_outputs\": {identical}, \
+             \"speedup\": {speedup:.4}, \"push\": {}, \"adaptive\": {}}}",
+            report_json(&push),
+            report_json(&adaptive),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"traversal\",\n  \"graph_nodes\": {},\n  \
+         \"graph_edges\": {},\n  \"source\": {source},\n  \"apps\": [\n    {}\n  ]\n}}\n",
+        csr.num_nodes(),
+        csr.num_edges(),
+        app_jsons.join(",\n    "),
+    );
+    if let Err(e) = validate_json(&json) {
+        eprintln!("FAIL: emitted JSON does not parse: {e}");
+        failed = true;
+    }
+    let out = "BENCH_traversal.json";
+    std::fs::write(out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let back = std::fs::read_to_string(out).expect("just wrote it");
+    if let Err(e) = validate_json(&back) {
+        eprintln!("FAIL: {out} re-read does not parse: {e}");
+        failed = true;
+    }
+    eprintln!("wrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}

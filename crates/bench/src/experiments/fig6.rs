@@ -23,7 +23,9 @@ fn measure_replica(
 ) -> Measurement {
     let mut dev = cfg.device();
     let sources = cfg.pick_sources(csr, source_seed);
-    let g = DeviceGraph::upload(&mut dev, csr.clone());
+    // same in-edge view (and thus the same adaptive direction policy) as
+    // the SageRuntime bars, so the figure isolates the node order only
+    let g = DeviceGraph::upload(&mut dev, csr.clone()).with_in_edges(&mut dev);
     let mut engine = ResidentEngine::new();
     let mut app = app_kind.make(&mut dev, cfg);
     measure(&mut dev, &g, &mut engine, app.as_mut(), &sources)

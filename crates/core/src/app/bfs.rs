@@ -3,7 +3,7 @@
 //! BFS needs no atomics: dirty writes do not affect correctness (§7.2) — a
 //! neighbor raced by two frontiers gets the same distance either way.
 
-use super::{App, Step};
+use super::{App, PullStep, Step};
 use crate::access::AccessRecorder;
 use gpu_sim::{Device, DeviceArray};
 use sage_graph::{Csr, NodeId};
@@ -69,6 +69,27 @@ impl App for Bfs {
         } else {
             Step::Frontier(contracted)
         }
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    fn pull_candidate(&mut self, node: NodeId, rec: &mut AccessRecorder) -> bool {
+        rec.read(self.dist.addr(node as usize));
+        self.dist[node as usize] == -1
+    }
+
+    fn pull_update(
+        &mut self,
+        node: NodeId,
+        _in_neighbor: NodeId,
+        rec: &mut AccessRecorder,
+    ) -> PullStep {
+        // any frontier parent gives the same distance — claim on the first
+        self.dist[node as usize] = self.level + 1;
+        rec.write(self.dist.addr(node as usize));
+        PullStep::Claim
     }
 }
 

@@ -36,6 +36,19 @@ pub enum Step {
     Done,
 }
 
+/// Outcome of one pull-mode edge visit ([`App::pull_update`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullStep {
+    /// The vertex claimed its final value: join the next frontier and stop
+    /// scanning its remaining in-edges (BFS: parent found).
+    Claim,
+    /// The vertex improved but may improve further: join the next frontier
+    /// and keep scanning (CC: a smaller label may still appear).
+    Update,
+    /// No state change from this in-edge; keep scanning.
+    Skip,
+}
+
 /// A graph application: per-edge filtering plus iteration control.
 pub trait App {
     /// Short name for reports ("bfs", "bc", "pr", ...).
@@ -68,6 +81,37 @@ pub trait App {
             Step::Frontier(contracted)
         }
     }
+
+    /// True when the app implements the pull (bottom-up) contract below.
+    /// Apps that only push keep the default and the runner never selects a
+    /// pull iteration for them.
+    fn supports_pull(&self) -> bool {
+        false
+    }
+
+    /// Pull-mode candidate gate: should vertex `node`'s in-edges be scanned
+    /// this iteration? Records the state reads the gate performs (e.g. BFS
+    /// reads `dist[node]` and skips visited vertices). Default: scan all.
+    fn pull_candidate(&mut self, _node: NodeId, _rec: &mut AccessRecorder) -> bool {
+        true
+    }
+
+    /// Pull-mode edge visit: `in_neighbor` is a frontier member with an edge
+    /// into `node`. Mutates `node`'s state (no atomics needed — one lane
+    /// owns the vertex) and says whether to claim, keep scanning with
+    /// membership, or skip.
+    fn pull_update(
+        &mut self,
+        _node: NodeId,
+        _in_neighbor: NodeId,
+        _rec: &mut AccessRecorder,
+    ) -> PullStep {
+        PullStep::Skip
+    }
+
+    /// Per-candidate work after its in-edge scan completes (e.g. PageRank
+    /// writing the accumulated rank once).
+    fn pull_finish(&mut self, _node: NodeId, _rec: &mut AccessRecorder) {}
 }
 
 /// Deterministic per-edge weight in `1..=15` for weighted applications on

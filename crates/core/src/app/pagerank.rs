@@ -5,7 +5,7 @@
 //! iteration is the entire node set — with atomic aggregation
 //! (`atomicAdd(pr_out[neighbor], increment)`).
 
-use super::{App, Step};
+use super::{App, PullStep, Step};
 use crate::access::AccessRecorder;
 use gpu_sim::{Device, DeviceArray};
 use sage_graph::{Csr, NodeId};
@@ -13,15 +13,30 @@ use sage_graph::{Csr, NodeId};
 /// Damping factor used throughout the paper's pseudo-code.
 pub const DAMPING: f32 = 0.85;
 
+/// Fixed-point scale for the rank accumulator. Per-edge increments are
+/// computed in f32 (as the GPU would) and then accumulated as scaled
+/// integers, making the sum independent of edge visit order — push and pull
+/// iterations, and every engine schedule, produce bitwise-identical ranks.
+const ACC_SCALE: f64 = (1u64 << 40) as f64;
+
 /// Push-style PageRank.
 pub struct PageRank {
     pr_in: DeviceArray<f32>,
     pr_out: DeviceArray<f32>,
     outdeg: DeviceArray<u32>,
+    acc: Vec<i64>,
     n: usize,
     max_iters: usize,
     tolerance: f32,
     last_delta: f32,
+}
+
+/// One edge's rank contribution in the f32 precision a GPU kernel would
+/// use, then widened to the order-independent fixed-point domain.
+#[inline]
+fn fixed_increment(pr: f32, deg: u32) -> i64 {
+    let inc = pr * DAMPING / deg.max(1) as f32;
+    (f64::from(inc) * ACC_SCALE).round() as i64
 }
 
 impl PageRank {
@@ -32,6 +47,7 @@ impl PageRank {
             pr_in: dev.alloc_array(0, 0.0),
             pr_out: dev.alloc_array(0, 0.0),
             outdeg: dev.alloc_array(0, 0),
+            acc: Vec::new(),
             n: 0,
             max_iters,
             tolerance,
@@ -74,6 +90,8 @@ impl App for PageRank {
         let init = 1.0 / n as f32;
         self.pr_in.fill(init);
         self.pr_out.fill(0.0);
+        self.acc.clear();
+        self.acc.resize(n, 0);
         for u in 0..n {
             self.outdeg[u] = g.degree(u as NodeId) as u32;
         }
@@ -89,9 +107,7 @@ impl App for PageRank {
     fn filter(&mut self, frontier: NodeId, neighbor: NodeId, rec: &mut AccessRecorder) -> bool {
         let f = frontier as usize;
         let n = neighbor as usize;
-        let deg = self.outdeg[f].max(1) as f32;
-        let increment = self.pr_in[f] * DAMPING / deg;
-        self.pr_out[n] += increment;
+        self.acc[n] += fixed_increment(self.pr_in[f], self.outdeg[f]);
         rec.atomic(self.pr_out.addr(n));
         false
     }
@@ -101,10 +117,10 @@ impl App for PageRank {
         let base = (1.0 - DAMPING) / self.n as f32;
         let mut delta = 0.0f32;
         for v in 0..self.n {
-            let new = base + self.pr_out[v];
+            let new = base + (self.acc[v] as f64 / ACC_SCALE) as f32;
             delta += (new - self.pr_in[v]).abs();
             self.pr_in[v] = new;
-            self.pr_out[v] = 0.0;
+            self.acc[v] = 0;
         }
         self.last_delta = delta / self.n as f32;
         3 * self.n as u64
@@ -116,6 +132,28 @@ impl App for PageRank {
         } else {
             Step::Frontier((0..self.n as NodeId).collect())
         }
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    fn pull_update(
+        &mut self,
+        node: NodeId,
+        in_neighbor: NodeId,
+        rec: &mut AccessRecorder,
+    ) -> PullStep {
+        let v = in_neighbor as usize;
+        rec.read(self.pr_in.addr(v));
+        rec.read(self.outdeg.addr(v));
+        self.acc[node as usize] += fixed_increment(self.pr_in[v], self.outdeg[v]);
+        PullStep::Skip
+    }
+
+    fn pull_finish(&mut self, node: NodeId, rec: &mut AccessRecorder) {
+        // one non-atomic store of the gathered rank sum
+        rec.write(self.pr_out.addr(node as usize));
     }
 }
 

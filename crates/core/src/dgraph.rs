@@ -19,11 +19,18 @@ pub enum GraphPlacement {
 }
 
 /// A CSR uploaded to the simulated memory system.
+///
+/// Optionally also carries the reversed (in-edge / CSC) view, which pull
+/// iterations scan. Build it with [`DeviceGraph::with_in_edges`]; graphs
+/// uploaded without it simply never take the pull path.
 #[derive(Debug, Clone)]
 pub struct DeviceGraph {
     csr: Csr,
     offsets_base: u64,
     targets_base: u64,
+    in_csr: Option<Csr>,
+    in_offsets_base: u64,
+    in_targets_base: u64,
     placement: GraphPlacement,
 }
 
@@ -37,6 +44,9 @@ impl DeviceGraph {
             offsets_base: offsets.base(),
             targets_base: targets.base(),
             csr,
+            in_csr: None,
+            in_offsets_base: 0,
+            in_targets_base: 0,
             placement: GraphPlacement::Device,
         }
     }
@@ -51,8 +61,68 @@ impl DeviceGraph {
             offsets_base: offsets.base(),
             targets_base: targets.base(),
             csr,
+            in_csr: None,
+            in_offsets_base: 0,
+            in_targets_base: 0,
             placement: GraphPlacement::Host,
         }
+    }
+
+    /// Materialize the in-edge (CSC) view and place it alongside the CSR
+    /// (same placement: device memory, or host memory for out-of-core).
+    /// Required before a runner can choose pull iterations.
+    #[must_use]
+    pub fn with_in_edges(mut self, dev: &mut Device) -> Self {
+        let rev = self.csr.reversed();
+        let (in_offsets, in_targets) = match self.placement {
+            GraphPlacement::Device => (
+                dev.alloc_array::<u32>(rev.num_nodes() + 1, 0).base(),
+                dev.alloc_array::<u32>(rev.num_edges().max(1), 0).base(),
+            ),
+            GraphPlacement::Host => (
+                dev.alloc_host_array::<u32>(rev.num_nodes() + 1, 0).base(),
+                dev.alloc_host_array::<u32>(rev.num_edges().max(1), 0)
+                    .base(),
+            ),
+        };
+        self.in_offsets_base = in_offsets;
+        self.in_targets_base = in_targets;
+        self.in_csr = Some(rev);
+        self
+    }
+
+    /// True when the in-edge view has been materialized.
+    #[must_use]
+    pub fn has_in_edges(&self) -> bool {
+        self.in_csr.is_some()
+    }
+
+    /// The in-edge (reversed) CSR, if materialized.
+    #[must_use]
+    pub fn in_csr(&self) -> Option<&Csr> {
+        self.in_csr.as_ref()
+    }
+
+    /// Address of `in_offset[u]` in the reversed CSR.
+    ///
+    /// # Panics
+    /// Panics if the in-edge view was not materialized.
+    #[inline]
+    #[must_use]
+    pub fn in_offset_addr(&self, u: NodeId) -> u64 {
+        debug_assert!(self.in_csr.is_some(), "in-edge view not materialized");
+        self.in_offsets_base + u64::from(u) * 4
+    }
+
+    /// Address of `in_v[idx]` (the reversed target array).
+    ///
+    /// # Panics
+    /// Panics if the in-edge view was not materialized.
+    #[inline]
+    #[must_use]
+    pub fn in_target_addr(&self, idx: u32) -> u64 {
+        debug_assert!(self.in_csr.is_some(), "in-edge view not materialized");
+        self.in_targets_base + u64::from(idx) * 4
     }
 
     /// The functional graph.
@@ -89,6 +159,11 @@ impl DeviceGraph {
     pub fn replace_csr(&mut self, csr: Csr) {
         assert_eq!(csr.num_nodes(), self.csr.num_nodes(), "node count changed");
         assert_eq!(csr.num_edges(), self.csr.num_edges(), "edge count changed");
+        if self.in_csr.is_some() {
+            // same node/edge counts, so the reversed view fits the
+            // already-allocated arrays — rebuild it in place.
+            self.in_csr = Some(csr.reversed());
+        }
         self.csr = csr;
     }
 }
@@ -138,6 +213,37 @@ mod tests {
         let mut d = Device::new(DeviceConfig::test_tiny());
         let mut g = DeviceGraph::upload(&mut d, graph());
         g.replace_csr(Csr::from_edges(4, &[(0, 1)]));
+    }
+
+    #[test]
+    fn in_edge_view_reverses_adjacency() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut d, graph()).with_in_edges(&mut d);
+        assert!(g.has_in_edges());
+        let rev = g.in_csr().unwrap();
+        assert_eq!(rev.neighbors(3), &[1]);
+        assert_eq!(rev.neighbors(1), &[0]);
+        assert_eq!(g.in_offset_addr(1) - g.in_offset_addr(0), 4);
+        assert!(!gpu_sim::mem::is_host_addr(g.in_target_addr(0)));
+    }
+
+    #[test]
+    fn in_edge_view_follows_host_placement() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload_host(&mut d, graph()).with_in_edges(&mut d);
+        assert!(gpu_sim::mem::is_host_addr(g.in_offset_addr(0)));
+        assert!(gpu_sim::mem::is_host_addr(g.in_target_addr(0)));
+    }
+
+    #[test]
+    fn replace_csr_rebuilds_in_edges() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let mut g = DeviceGraph::upload(&mut d, graph()).with_in_edges(&mut d);
+        let perm = sage_graph::Permutation::random(4, 1);
+        let relabelled = perm.apply_csr(&graph());
+        let expected = relabelled.reversed();
+        g.replace_csr(relabelled);
+        assert_eq!(g.in_csr().unwrap().targets(), expected.targets());
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Shared engine plumbing: charging CSR reads, gathering targets, running
 //! filters tile-by-tile.
 
+use super::IterationOutput;
 use crate::access::AccessRecorder;
-use crate::app::App;
+use crate::app::{App, PullStep};
 use crate::dgraph::DeviceGraph;
-use gpu_sim::{AccessKind, Kernel};
+use crate::frontier::BitFrontier;
+use gpu_sim::tile::{charge_shfl, charge_vote};
+use gpu_sim::{AccessKind, Device, Kernel, Tile};
 use sage_graph::NodeId;
 
 /// Observes the node groups each tile accesses concurrently — the hook
@@ -144,6 +147,254 @@ pub fn charge_contraction(k: &mut Kernel<'_>, kept: usize, buffer_base: u64) {
         k.access(sm, AccessKind::Write, &addrs, 4);
         written += n;
         block += 1;
+    }
+}
+
+/// Geometry and concurrency knobs of the shared pull (bottom-up) driver —
+/// each engine keeps its push-side scheduling character in pull mode too.
+#[derive(Debug, Clone)]
+pub struct PullConfig {
+    /// Kernel name for the profiler breakdown.
+    pub kernel: &'static str,
+    /// Vertices per block for SM placement.
+    pub block_size: usize,
+    /// Independent warps per SM (latency hiding).
+    pub concurrency: f64,
+    /// Charge tile election/broadcast per candidate scan (SAGE engines
+    /// cooperate on a candidate's in-adjacency; the naive baseline does
+    /// not).
+    pub cooperative: bool,
+}
+
+/// Scan one candidate vertex's in-edges against the frontier bitmap:
+/// coalesced in-target reads, one bitmap-word probe per lane, the app's
+/// `pull_update` per frontier member, early exit on a claim. Returns the
+/// number of in-edges examined.
+#[allow(clippy::too_many_arguments)]
+pub fn pull_scan_node(
+    k: &mut Kernel<'_>,
+    sm: usize,
+    g: &DeviceGraph,
+    app: &mut dyn App,
+    u: NodeId,
+    fr: &BitFrontier,
+    rec: &mut AccessRecorder,
+    next: &mut Vec<NodeId>,
+    addr_scratch: &mut Vec<u64>,
+) -> u64 {
+    let in_csr = g.in_csr().expect("pull requires the in-edge view");
+    let warp = k.cfg().warp_size;
+    let beg = in_csr.offset(u);
+    let deg = in_csr.degree(u) as u32;
+    if deg == 0 {
+        app.pull_finish(u, rec);
+        rec.flush(k, sm);
+        return 0;
+    }
+    let sources = &in_csr.targets()[beg as usize..(beg + deg) as usize];
+    let mut edges = 0u64;
+    let mut joined = false;
+    'scan: for (ci, chunk) in sources.chunks(warp).enumerate() {
+        let idx0 = beg + (ci * warp) as u32;
+        // consecutive CSR indices: one coalesced request per warp
+        k.access_range(
+            sm,
+            AccessKind::Read,
+            g.in_target_addr(idx0),
+            chunk.len() as u64,
+            4,
+        );
+        // each lane probes its source's bitmap word
+        addr_scratch.clear();
+        for &v in chunk {
+            addr_scratch.push(fr.word_addr(v));
+        }
+        k.access(sm, AccessKind::Read, addr_scratch, 8);
+        for &v in chunk {
+            edges += 1;
+            if !fr.contains(v) {
+                continue;
+            }
+            match app.pull_update(u, v, rec) {
+                PullStep::Claim => {
+                    if !joined {
+                        next.push(u);
+                    }
+                    // the remaining in-edges go unscanned — the pull win
+                    break 'scan;
+                }
+                PullStep::Update => {
+                    if !joined {
+                        next.push(u);
+                        joined = true;
+                    }
+                }
+                PullStep::Skip => {}
+            }
+        }
+        rec.flush(k, sm);
+    }
+    rec.flush(k, sm);
+    app.pull_finish(u, rec);
+    rec.flush(k, sm);
+    edges
+}
+
+/// Shared pull iteration: gate every vertex through `pull_candidate`, read
+/// the candidates' in-offset ranges, then scan each candidate's in-edges
+/// against the bitmap. Candidates are processed in ascending order, so
+/// `next` comes back sorted and duplicate-free — no host-side contraction
+/// sort needed.
+///
+/// The launch is fused end to end the way a real bottom-up kernel is: the
+/// bitmap build runs as its prologue and the surviving vertices append to
+/// the queue at `queue_base` through an atomic cursor, so a pull iteration
+/// costs exactly one kernel launch.
+pub fn pull_iterate(
+    dev: &mut Device,
+    g: &DeviceGraph,
+    app: &mut dyn App,
+    fr: &BitFrontier,
+    cfg: &PullConfig,
+    queue_base: u64,
+) -> IterationOutput {
+    let n = g.csr().num_nodes();
+    let clock = dev.cfg().clock_hz;
+    let issue = dev.cfg().issue_width;
+    let mut out = IterationOutput::default();
+    let mut rec = AccessRecorder::new();
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut overhead_insts = 0u64;
+
+    let mut k = dev.launch(cfg.kernel);
+    k.set_concurrency(cfg.concurrency);
+    let sms = k.num_sms();
+    let warp = k.cfg().warp_size;
+    let block = cfg.block_size.max(warp);
+
+    // prologue: materialize the frontier bitmap inside this launch
+    charge_bitmap_build(&mut k, fr, queue_base);
+
+    // candidate gate: every vertex evaluates it in its block's SM
+    let mut candidates: Vec<NodeId> = Vec::new();
+    for (bi, lo) in (0..n).step_by(block).enumerate() {
+        let sm = bi % sms;
+        let hi = (lo + block).min(n);
+        let mut chunk_lo = lo;
+        while chunk_lo < hi {
+            let chunk_hi = (chunk_lo + warp).min(hi);
+            k.exec(sm, 1, chunk_hi - chunk_lo, warp);
+            for u in chunk_lo..chunk_hi {
+                if app.pull_candidate(u as NodeId, &mut rec) {
+                    candidates.push(u as NodeId);
+                }
+            }
+            rec.flush(&mut k, sm);
+            chunk_lo = chunk_hi;
+        }
+    }
+
+    // each surviving lane reads its candidate's in-offset range
+    let warps_per_block = (block / warp).max(1);
+    for (ci, chunk) in candidates.chunks(warp).enumerate() {
+        let sm = (ci / warps_per_block) % sms;
+        scratch.clear();
+        for &u in chunk {
+            scratch.push(g.in_offset_addr(u));
+            scratch.push(g.in_offset_addr(u + 1));
+        }
+        k.access(sm, AccessKind::Read, &scratch, 4);
+    }
+
+    // in-edge scans, ascending candidate order
+    let tile = Tile::new(warp);
+    for (bi, chunk) in candidates.chunks(block).enumerate() {
+        let sm = bi % sms;
+        for &u in chunk {
+            if cfg.cooperative {
+                // the tile elects the candidate leader and broadcasts its
+                // in-range before the coalesced strides
+                overhead_insts += charge_vote(&mut k, sm, tile);
+                overhead_insts += charge_shfl(&mut k, sm, tile);
+            }
+            out.edges += pull_scan_node(
+                &mut k,
+                sm,
+                g,
+                app,
+                u,
+                fr,
+                &mut rec,
+                &mut out.next,
+                &mut scratch,
+            );
+        }
+    }
+
+    // epilogue: surviving vertices append to the next queue through an
+    // atomic cursor — contiguous coalesced writes, no separate contraction
+    let kept = out.next.len();
+    let per_sm = kept.div_ceil(sms);
+    for sm in 0..sms {
+        let lo = sm * per_sm;
+        if lo >= kept {
+            break;
+        }
+        let cnt = per_sm.min(kept - lo);
+        k.exec_uniform(sm, (cnt.div_ceil(warp) * 2) as u64);
+        k.access_range(
+            sm,
+            AccessKind::Write,
+            queue_base + (lo * 4) as u64,
+            cnt as u64,
+            4,
+        );
+    }
+
+    let _ = k.finish();
+    out.overhead_seconds = overhead_insts as f64 / issue / clock;
+    out
+}
+
+/// Charge the dense-frontier build (Figure 2's contraction replaced by a
+/// bitmap): zero the words, then each frontier lane reads its queue entry
+/// and atomically sets its bit.
+pub fn charge_bitmap_build(k: &mut Kernel<'_>, fr: &BitFrontier, queue_base: u64) {
+    let sms = k.num_sms();
+    let warp = k.cfg().warp_size;
+    // memset of the word array, grid-strided over SMs
+    let words = fr.num_words();
+    let per_sm = words.div_ceil(sms);
+    for sm in 0..sms {
+        let lo = sm * per_sm;
+        if lo >= words {
+            break;
+        }
+        let cnt = per_sm.min(words - lo);
+        k.access_range(
+            sm,
+            AccessKind::Write,
+            fr.device_base() + (lo * 8) as u64,
+            cnt as u64,
+            8,
+        );
+    }
+    // queue reads + scattered word writes
+    let mut addrs: Vec<u64> = Vec::with_capacity(warp);
+    let members = fr.to_vec();
+    for (ci, chunk) in members.chunks(warp).enumerate() {
+        let sm = ci % sms;
+        k.exec(sm, 2, chunk.len(), warp);
+        addrs.clear();
+        for (i, _) in chunk.iter().enumerate() {
+            addrs.push(queue_base + ((ci * warp + i) * 4) as u64);
+        }
+        k.access(sm, AccessKind::Read, &addrs, 4);
+        addrs.clear();
+        for &u in chunk {
+            addrs.push(fr.word_addr(u));
+        }
+        k.access(sm, AccessKind::Write, &addrs, 8);
     }
 }
 

@@ -28,6 +28,7 @@ pub use tigr::TigrEngine;
 
 use crate::app::App;
 use crate::dgraph::DeviceGraph;
+use crate::frontier::BitFrontier;
 use gpu_sim::Device;
 use sage_graph::NodeId;
 
@@ -58,6 +59,37 @@ pub trait Engine {
         app: &mut dyn App,
         frontier: &[NodeId],
     ) -> IterationOutput;
+
+    /// True when the engine has a native pull (bottom-up) iteration path.
+    /// The default `iterate_pull` falls back to expanding the bitmap into a
+    /// queue and pushing, so push-only baselines stay correct when a runner
+    /// hands them a dense frontier.
+    fn supports_pull(&self) -> bool {
+        false
+    }
+
+    /// Pull iteration: scan candidate vertices' in-edges against the dense
+    /// `frontier` bitmap. Only called when the graph has an in-edge view and
+    /// the app supports pull. `next` comes back sorted and duplicate-free
+    /// (candidates are scanned in ascending order).
+    ///
+    /// `queue_base` is the device address of the sparse frontier queue: the
+    /// pull kernel fuses the bitmap build (prologue) and the next-queue
+    /// writes (atomic-cursor append) into its single launch, so the runner
+    /// skips the separate conversion and contraction kernels in pull
+    /// iterations.
+    fn iterate_pull(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &BitFrontier,
+        queue_base: u64,
+    ) -> IterationOutput {
+        let _ = queue_base;
+        let sparse = frontier.to_vec();
+        self.iterate(dev, g, app, &sparse)
+    }
 
     /// Drop any cross-run cached state (e.g. resident tiles).
     fn reset(&mut self) {}

@@ -14,13 +14,15 @@
 //! (§6): each consumed tile's member nodes are reported to it.
 
 use super::common::{
-    charge_offset_reads, gather_filter_range, gather_filter_scattered, NoObserver, TileObserver,
+    charge_offset_reads, gather_filter_range, gather_filter_scattered, pull_iterate, NoObserver,
+    PullConfig, TileObserver,
 };
 use super::sage_tp::SECTOR_NODES;
 use super::{Engine, IterationOutput};
 use crate::access::AccessRecorder;
 use crate::app::App;
 use crate::dgraph::DeviceGraph;
+use crate::frontier::BitFrontier;
 use crate::reorder::Sampler;
 use gpu_sim::tile::{charge_shfl, charge_vote};
 use gpu_sim::{AccessKind, Device, Tile};
@@ -280,6 +282,30 @@ impl Engine for ResidentEngine {
             let _ = k.finish();
         }
         out
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    fn iterate_pull(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &BitFrontier,
+        queue_base: u64,
+    ) -> IterationOutput {
+        // Resident tile records describe *out*-adjacency, so pull iterations
+        // don't consult them; every warp independently claims candidates,
+        // keeping the full-occupancy stealing character.
+        let cfg = PullConfig {
+            kernel: "sage_pull",
+            block_size: self.block_size,
+            concurrency: dev.cfg().max_resident_warps as f64,
+            cooperative: true,
+        };
+        pull_iterate(dev, g, app, frontier, &cfg, queue_base)
     }
 
     fn reset(&mut self) {

@@ -1,0 +1,246 @@
+//! Hybrid frontier representations for direction-optimizing traversal.
+//!
+//! A frontier is either a **sparse queue** (the compacted node list the
+//! push pipeline of Figure 2 produces) or a **dense bitmap** (one bit per
+//! node, the representation pull iterations probe per in-edge). The runner
+//! converts between the two per iteration according to the Beamer-style
+//! direction heuristic; conversions are cheap — O(|F|) to set bits, O(n/64)
+//! words to extract — and both representations track their population so
+//! the heuristic can read `|F|` for free.
+
+use sage_graph::NodeId;
+
+/// Traversal direction of one pipeline iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Expand the frontier's out-edges (top-down).
+    Push,
+    /// Scan unvisited vertices' in-edges against the frontier bitmap
+    /// (bottom-up).
+    Pull,
+}
+
+/// Dense frontier: one bit per node plus the device address of the backing
+/// word array, so engines can charge their membership probes.
+#[derive(Debug, Clone, Default)]
+pub struct BitFrontier {
+    words: Vec<u64>,
+    num_nodes: usize,
+    count: usize,
+    device_base: u64,
+}
+
+impl BitFrontier {
+    /// An empty bitmap over `num_nodes` nodes backed by the device word
+    /// array at `device_base`.
+    #[must_use]
+    pub fn new(num_nodes: usize, device_base: u64) -> Self {
+        Self {
+            words: vec![0u64; num_nodes.div_ceil(64).max(1)],
+            num_nodes,
+            count: 0,
+            device_base,
+        }
+    }
+
+    /// Build from a node list (need not be sorted or unique — the bitmap
+    /// dedups by construction).
+    #[must_use]
+    pub fn from_nodes(nodes: &[NodeId], num_nodes: usize, device_base: u64) -> Self {
+        let mut b = Self::new(num_nodes, device_base);
+        for &u in nodes {
+            b.insert(u);
+        }
+        b
+    }
+
+    /// Set node `u`'s bit; returns true when it was newly set.
+    pub fn insert(&mut self, u: NodeId) -> bool {
+        let (w, bit) = (u as usize / 64, u as usize % 64);
+        let mask = 1u64 << bit;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when node `u`'s bit is set.
+    #[must_use]
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.words[u as usize / 64] & (1u64 << (u as usize % 64)) != 0
+    }
+
+    /// Number of set bits (frontier population).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Nodes the bitmap covers.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of backing 8-byte words.
+    #[must_use]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Device address of the word holding node `u`'s bit (what a pull
+    /// engine reads to test membership).
+    #[inline]
+    #[must_use]
+    pub fn word_addr(&self, u: NodeId) -> u64 {
+        self.device_base + (u as u64 / 64) * 8
+    }
+
+    /// Device address of the word array.
+    #[must_use]
+    pub fn device_base(&self) -> u64 {
+        self.device_base
+    }
+
+    /// Extract the set nodes in ascending order (the contraction-compatible
+    /// sparse queue: sorted and duplicate-free by construction).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.count);
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((wi * 64) as NodeId + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Clear every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+}
+
+/// A frontier in whichever representation the current iteration wants.
+#[derive(Debug, Clone)]
+pub enum Frontier {
+    /// Compacted node queue (push iterations).
+    Sparse(Vec<NodeId>),
+    /// Per-node bitmap (pull iterations).
+    Dense(BitFrontier),
+}
+
+impl Frontier {
+    /// Population of the frontier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Sparse(q) => q.len(),
+            Frontier::Dense(b) => b.len(),
+        }
+    }
+
+    /// True when the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sparse queue, if currently sparse.
+    #[must_use]
+    pub fn as_sparse(&self) -> Option<&[NodeId]> {
+        match self {
+            Frontier::Sparse(q) => Some(q),
+            Frontier::Dense(_) => None,
+        }
+    }
+
+    /// Convert to the sparse queue representation in place and return it.
+    /// Dense extraction yields ascending, duplicate-free nodes.
+    pub fn make_sparse(&mut self) -> &[NodeId] {
+        if let Frontier::Dense(b) = self {
+            *self = Frontier::Sparse(b.to_vec());
+        }
+        match self {
+            Frontier::Sparse(q) => q,
+            Frontier::Dense(_) => unreachable!("just converted"),
+        }
+    }
+
+    /// Convert to the dense bitmap representation in place and return it.
+    pub fn make_dense(&mut self, num_nodes: usize, device_base: u64) -> &BitFrontier {
+        if let Frontier::Sparse(q) = self {
+            *self = Frontier::Dense(BitFrontier::from_nodes(q, num_nodes, device_base));
+        }
+        match self {
+            Frontier::Dense(b) => b,
+            Frontier::Sparse(_) => unreachable!("just converted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_count() {
+        let mut b = BitFrontier::new(200, 0);
+        assert!(b.is_empty());
+        assert!(b.insert(3));
+        assert!(b.insert(130));
+        assert!(!b.insert(3), "re-insert is a no-op");
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(3));
+        assert!(b.contains(130));
+        assert!(!b.contains(4));
+    }
+
+    #[test]
+    fn to_vec_is_sorted_and_deduped() {
+        let b = BitFrontier::from_nodes(&[70, 3, 3, 199, 0, 70], 200, 0);
+        assert_eq!(b.to_vec(), vec![0, 3, 70, 199]);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn word_addr_steps_by_eight_bytes() {
+        let b = BitFrontier::new(256, 1 << 20);
+        assert_eq!(b.word_addr(0), 1 << 20);
+        assert_eq!(b.word_addr(63), 1 << 20);
+        assert_eq!(b.word_addr(64), (1 << 20) + 8);
+        assert_eq!(b.num_words(), 4);
+    }
+
+    #[test]
+    fn frontier_roundtrip_conversions() {
+        let mut f = Frontier::Sparse(vec![5, 1, 9, 1]);
+        assert_eq!(f.len(), 4);
+        let dense = f.make_dense(16, 0);
+        assert_eq!(dense.len(), 3, "bitmap dedups");
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.make_sparse(), &[1, 5, 9]);
+        assert!(f.as_sparse().is_some());
+    }
+
+    #[test]
+    fn clear_resets_population() {
+        let mut b = BitFrontier::from_nodes(&[1, 2, 3], 64, 0);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.contains(1));
+    }
+}

@@ -38,6 +38,7 @@ pub mod access;
 pub mod app;
 pub mod dgraph;
 pub mod engine;
+pub mod frontier;
 pub mod metrics;
 pub mod multigpu;
 pub mod ooc;
@@ -48,6 +49,7 @@ pub mod runtime;
 
 pub use access::AccessRecorder;
 pub use dgraph::{DeviceGraph, GraphPlacement};
+pub use frontier::{BitFrontier, Direction, Frontier};
 pub use metrics::{LatencyBreakdown, RunReport};
-pub use pipeline::Runner;
+pub use pipeline::{DirectionPolicy, Runner};
 pub use runtime::SageRuntime;

@@ -51,13 +51,28 @@ pub struct RunReport {
     pub engine: String,
     /// Pipeline iterations executed (BFS levels, PR rounds, ...).
     pub iterations: usize,
-    /// Edges traversed (filter invocations).
+    /// Algorithmic edges traversed — each iteration's frontier out-edge
+    /// mass, i.e. what a push iteration filters. Pull iterations charge the
+    /// same number (the Beamer-standard TEPS numerator), so throughput is
+    /// comparable across directions; the bottom-up saving shows up in
+    /// [`RunReport::edges_examined`] and in `seconds`.
     pub edges: u64,
+    /// Edge examinations actually performed: equals `edges` for push
+    /// iterations; for pull iterations it counts in-edge probes, which
+    /// early exit can make far smaller.
+    pub edges_examined: u64,
     /// Simulated wall-clock seconds.
     pub seconds: f64,
     /// Simulated seconds spent in scheduling overhead (tiled partitioning
     /// elections/partitions) — the numerator of Table 3.
     pub overhead_seconds: f64,
+    /// Per-iteration direction trace: `>` for a push iteration, `<` for a
+    /// pull iteration, `|` separating accumulated runs. Empty for runners
+    /// predating the adaptive pipeline (e.g. multi-GPU drivers).
+    pub direction_trace: String,
+    /// False when the run stopped at the iteration cap instead of the
+    /// application's own convergence condition.
+    pub converged: bool,
     /// Host-side query-latency breakdown (zeros outside a serving layer).
     pub latency: LatencyBreakdown,
 }
@@ -87,8 +102,16 @@ impl RunReport {
     pub fn accumulate(&mut self, other: &RunReport) {
         self.iterations += other.iterations;
         self.edges += other.edges;
+        self.edges_examined += other.edges_examined;
         self.seconds += other.seconds;
         self.overhead_seconds += other.overhead_seconds;
+        self.converged &= other.converged;
+        if !other.direction_trace.is_empty() {
+            if !self.direction_trace.is_empty() {
+                self.direction_trace.push('|');
+            }
+            self.direction_trace.push_str(&other.direction_trace);
+        }
         self.latency.accumulate(&other.latency);
     }
 }
@@ -104,7 +127,20 @@ impl fmt::Display for RunReport {
             self.edges,
             self.seconds * 1e3,
             self.gteps()
-        )
+        )?;
+        if !self.direction_trace.is_empty() {
+            // keep the line bounded on long-running apps
+            if self.direction_trace.len() <= 48 {
+                write!(f, " [{}]", self.direction_trace)?;
+            } else {
+                let head: String = self.direction_trace.chars().take(45).collect();
+                write!(f, " [{head}…]")?;
+            }
+        }
+        if !self.converged {
+            write!(f, " [truncated]")?;
+        }
+        Ok(())
     }
 }
 
@@ -118,8 +154,11 @@ mod tests {
             engine: "test".into(),
             iterations: 3,
             edges,
+            edges_examined: edges,
             seconds,
             overhead_seconds: 0.1 * seconds,
+            direction_trace: ">>>".into(),
+            converged: true,
             latency: LatencyBreakdown::default(),
         }
     }
@@ -171,5 +210,28 @@ mod tests {
         let r = report(1000, 0.001);
         let s = format!("{r}");
         assert!(s.contains("GTEPS"));
+        assert!(s.contains(">>>"), "direction trace shown: {s}");
+        assert!(!s.contains("truncated"));
+    }
+
+    #[test]
+    fn display_flags_truncation_and_caps_trace() {
+        let mut r = report(1000, 0.001);
+        r.converged = false;
+        r.direction_trace = ">".repeat(100);
+        let s = format!("{r}");
+        assert!(s.contains("[truncated]"));
+        assert!(s.contains('…'), "long trace elided: {s}");
+    }
+
+    #[test]
+    fn accumulate_joins_traces_and_ands_convergence() {
+        let mut a = report(100, 1.0);
+        let mut b = report(50, 0.5);
+        b.direction_trace = "><".into();
+        b.converged = false;
+        a.accumulate(&b);
+        assert_eq!(a.direction_trace, ">>>|><");
+        assert!(!a.converged);
     }
 }

@@ -263,8 +263,11 @@ impl MultiGpuDriver {
             ),
             iterations,
             edges,
+            edges_examined: edges,
             seconds,
             overhead_seconds: 0.0,
+            direction_trace: String::new(),
+            converged: iterations < 100_000,
             latency: crate::metrics::LatencyBreakdown::default(),
         }
     }

@@ -1,34 +1,85 @@
 //! The node-centric processing pipeline of Figure 2:
 //! **expansion → filtering → contraction**, iterated over double-buffered
 //! frontier queues until the application converges.
+//!
+//! On top of the push pipeline sits a Beamer-style direction optimizer: a
+//! per-iteration heuristic compares the frontier's unvisited out-edge mass
+//! against the remaining unvisited edges and switches between **push**
+//! (expand the sparse queue's out-edges) and **pull** (scan unvisited
+//! vertices' in-edges against a dense bitmap of the frontier). Pull
+//! iterations require the graph's in-edge view ([`crate::DeviceGraph::with_in_edges`])
+//! plus pull support from both the engine and the app; otherwise the runner
+//! transparently stays push-only.
 
 use crate::app::{App, Step};
 use crate::dgraph::DeviceGraph;
-use crate::engine::common::charge_contraction;
+use crate::engine::common::{charge_bitmap_build, charge_contraction};
 use crate::engine::Engine;
+use crate::frontier::Frontier;
 use crate::metrics::RunReport;
 use gpu_sim::{AccessKind, Device};
 use sage_graph::NodeId;
+
+/// How the runner picks each iteration's traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DirectionPolicy {
+    /// Always push (the classic Figure 2 pipeline).
+    PushOnly,
+    /// Beamer-style heuristic: switch push→pull when the frontier's
+    /// out-edge mass `m_f` exceeds `m_u / alpha` (the frontier would touch
+    /// more edges than a bottom-up scan), and pull→push when the frontier
+    /// population `n_f` drops below `n / beta`.
+    Adaptive {
+        /// Push→pull edge-mass ratio (paper default 14).
+        alpha: f64,
+        /// Pull→push population ratio (paper default 24).
+        beta: f64,
+    },
+}
+
+impl DirectionPolicy {
+    /// The standard direction-optimizing configuration (α=14, β=24).
+    #[must_use]
+    pub fn adaptive() -> Self {
+        DirectionPolicy::Adaptive {
+            alpha: 14.0,
+            beta: 24.0,
+        }
+    }
+}
 
 /// Runs applications through an engine on a device.
 pub struct Runner {
     /// Hard cap on iterations (safety net against non-converging filters).
     pub max_iterations: usize,
+    /// Per-iteration direction selection.
+    pub policy: DirectionPolicy,
 }
 
 impl Default for Runner {
     fn default() -> Self {
         Self {
             max_iterations: 100_000,
+            policy: DirectionPolicy::adaptive(),
         }
     }
 }
 
 impl Runner {
-    /// A runner with default limits.
+    /// A runner with default limits and the adaptive direction policy.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A runner pinned to push iterations (the pre-direction-optimizing
+    /// pipeline; also the baseline side of `BENCH_traversal.json`).
+    #[must_use]
+    pub fn push_only() -> Self {
+        Self {
+            policy: DirectionPolicy::PushOnly,
+            ..Self::default()
+        }
     }
 
     /// Execute one full traversal of `app` from `source` and report
@@ -42,30 +93,136 @@ impl Runner {
         source: NodeId,
     ) -> RunReport {
         let start = dev.elapsed_seconds();
+        let n = g.csr().num_nodes();
         // double-buffered frontier queues (charged at contraction)
-        let frontier_buf = dev.alloc_array::<u32>(g.csr().num_nodes().max(1), 0);
-        let mut frontier = app.init(dev, g.csr(), source);
+        let frontier_buf = dev.alloc_array::<u32>(n.max(1), 0);
+        // dense-frontier bitmap (one bit per node)
+        let bitmap_buf = dev.alloc_array::<u64>(n.div_ceil(64).max(1), 0);
+        let init = app.init(dev, g.csr(), source);
 
+        let (alpha, beta) = match self.policy {
+            DirectionPolicy::Adaptive { alpha, beta } => (alpha, beta),
+            DirectionPolicy::PushOnly => (0.0, 0.0),
+        };
+        let pull_ok = matches!(self.policy, DirectionPolicy::Adaptive { .. })
+            && g.has_in_edges()
+            && engine.supports_pull()
+            && app.supports_pull();
+
+        // unvisited-edge bookkeeping for the heuristic: m_u counts the
+        // out-edges of vertices that have never been on a frontier
+        let mut visited = vec![false; if pull_ok { n } else { 0 }];
+        let mut m_u: u64 = if pull_ok {
+            g.csr().num_edges() as u64
+        } else {
+            0
+        };
+        let mark_visited = |nodes: &[NodeId], visited: &mut Vec<bool>, m_u: &mut u64| {
+            for &u in nodes {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    *m_u = m_u.saturating_sub(g.csr().degree(u) as u64);
+                }
+            }
+        };
+        if pull_ok {
+            mark_visited(&init, &mut visited, &mut m_u);
+        }
+
+        let mut frontier = Frontier::Sparse(init);
         let mut iterations = 0usize;
         let mut edges = 0u64;
+        let mut edges_examined = 0u64;
         let mut overhead = 0.0f64;
+        let mut trace = String::new();
+        let mut converged = false;
+        let mut pulling = false;
 
-        while iterations < self.max_iterations {
+        loop {
             if frontier.is_empty() {
+                converged = true;
                 break;
             }
-            let out = engine.iterate(dev, g, app, &frontier);
-            edges += out.edges;
+            if iterations >= self.max_iterations {
+                break;
+            }
+
+            // ---- direction choice (Beamer's alpha/beta heuristic) ----
+            // m_f (the frontier's out-edge mass) doubles as the
+            // push-equivalent work of this iteration for TEPS accounting.
+            let mut m_f = 0u64;
+            if pull_ok {
+                m_f = match &frontier {
+                    Frontier::Sparse(q) => q.iter().map(|&u| g.csr().degree(u) as u64).sum(),
+                    Frontier::Dense(b) => {
+                        b.to_vec().iter().map(|&u| g.csr().degree(u) as u64).sum()
+                    }
+                };
+                let n_f = frontier.len() as f64;
+                if !pulling {
+                    // m_u > 0: bottom-up only pays while unvisited vertices
+                    // remain to early-exit on. Apps whose initial frontier is
+                    // every vertex (PR, CC) drain m_u at init and correctly
+                    // stay push — their pull scans can't skip anything.
+                    if m_u > 0 && m_f as f64 * alpha > m_u as f64 {
+                        pulling = true;
+                    }
+                } else if n_f * beta < n as f64 {
+                    pulling = false;
+                }
+            }
+
+            let out = if pulling {
+                // dense iteration: the pull kernel fuses the bitmap build
+                // and the next-queue writes into its single launch
+                let dense = frontier.make_dense(n, bitmap_buf.base());
+                trace.push('<');
+                engine.iterate_pull(dev, g, app, dense, frontier_buf.base())
+            } else {
+                trace.push('>');
+                engine.iterate(dev, g, app, frontier.make_sparse())
+            };
+            // GTEPS keeps the push-equivalent numerator in both directions
+            // (Beamer's convention): a pull iteration does *less* work than
+            // push on the same frontier, which shows up in `seconds` and in
+            // the examined counter, not as a throughput collapse.
+            edges += if pulling { m_f } else { out.edges };
+            edges_examined += out.edges;
             overhead += out.overhead_seconds;
             iterations += 1;
 
-            // contraction: compact, dedup, write the next frontier queue
+            // ---- contraction ----
+            // Pull output is already sorted, duplicate-free, and written to
+            // the queue inside the pull kernel — no contraction launch at
+            // all. Push output needs dedup: a blown-up frontier dedups
+            // through the bitmap, a small one through the host-side sort
+            // (the classic Figure 2 contraction).
             let mut next = out.next;
-            next.sort_unstable();
-            next.dedup();
-            let mut k = dev.launch("contract");
-            charge_contraction(&mut k, next.len(), frontier_buf.base());
-            let _ = k.finish();
+            if !pulling {
+                let dense_dedup = pull_ok && next.len() >= n / 8;
+                let mut k = dev.launch(if dense_dedup {
+                    "contract_bitmap"
+                } else {
+                    "contract"
+                });
+                if dense_dedup {
+                    // blown-up frontier: dedup through the bitmap in the
+                    // same launch as the compaction
+                    let bits =
+                        crate::frontier::BitFrontier::from_nodes(&next, n, bitmap_buf.base());
+                    charge_bitmap_build(&mut k, &bits, frontier_buf.base());
+                    next = bits.to_vec();
+                } else {
+                    next.sort_unstable();
+                    next.dedup();
+                }
+                charge_contraction(&mut k, next.len(), frontier_buf.base());
+                let _ = k.finish();
+            }
+
+            if pull_ok {
+                mark_visited(&next, &mut visited, &mut m_u);
+            }
 
             // end-of-iteration vertex kernel (e.g. PageRank rank update)
             let epilogue_ops = app.iteration_epilogue();
@@ -74,8 +231,11 @@ impl Runner {
             }
 
             match app.control(iterations, next) {
-                Step::Done => break,
-                Step::Frontier(f) => frontier = f,
+                Step::Done => {
+                    converged = true;
+                    break;
+                }
+                Step::Frontier(f) => frontier = Frontier::Sparse(f),
             }
         }
 
@@ -84,8 +244,11 @@ impl Runner {
             engine: engine.name().to_owned(),
             iterations,
             edges,
+            edges_examined,
             seconds: dev.elapsed_seconds() - start,
             overhead_seconds: overhead,
+            direction_trace: trace,
+            converged,
             latency: crate::metrics::LatencyBreakdown::default(),
         }
     }
@@ -97,24 +260,16 @@ impl Runner {
         let warp = dev.cfg().warp_size as u64;
         let mut k = dev.launch("vertex_epilogue");
         let per_sm = ops.div_ceil(sms as u64);
-        let mut addrs: Vec<u64> = Vec::with_capacity(warp as usize);
         for sm in 0..sms {
-            let n = per_sm.min(ops.saturating_sub(sm as u64 * per_sm));
+            let done = sm as u64 * per_sm;
+            let n = per_sm.min(ops.saturating_sub(done));
             if n == 0 {
                 break;
             }
             k.exec_uniform(sm, n.div_ceil(warp) * 2);
-            // one coalesced access per warp of elements
-            let mut done = 0u64;
-            while done < n {
-                let c = warp.min(n - done);
-                addrs.clear();
-                for i in 0..c {
-                    addrs.push(base + (done + i) * 4);
-                }
-                k.access(sm, AccessKind::Read, &addrs, 4);
-                done += c;
-            }
+            // one coalesced access per warp of elements, no address
+            // materialization
+            k.access_range(sm, AccessKind::Read, base + done * 4, n, 4);
         }
         let _ = k.finish();
     }
@@ -147,6 +302,9 @@ mod tests {
         assert!(report.edges > 0);
         assert!(report.seconds > 0.0);
         assert!(report.gteps() > 0.0);
+        assert!(report.converged);
+        // no in-edge view -> push-only even under the adaptive policy
+        assert!(!report.direction_trace.contains('<'));
     }
 
     #[test]
@@ -227,6 +385,8 @@ mod tests {
         // three iterations: {0} -> {1} -> {2} -> empty
         assert_eq!(r.iterations, 3);
         assert_eq!(r.edges, 2);
+        assert_eq!(r.direction_trace, ">>>");
+        assert!(r.converged);
     }
 
     #[test]
@@ -239,5 +399,50 @@ mod tests {
         let r = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0);
         assert_eq!(r.edges, 0);
         assert!(r.iterations <= 1);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn iteration_cap_reports_truncation() {
+        // a 4-cycle with CC never converges in one iteration; cap at 1
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr);
+        let mut app = Cc::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let runner = Runner {
+            max_iterations: 1,
+            ..Runner::default()
+        };
+        let r = runner.run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(r.iterations, 1);
+        assert!(!r.converged, "cap hit must clear converged");
+    }
+
+    #[test]
+    fn adaptive_bfs_pulls_on_star_and_matches_push() {
+        // hub 0 -> 1..=199: iteration 2's frontier holds nearly every edge
+        // endpoint, so the heuristic must flip to pull at least once
+        let edges: Vec<(u32, u32)> = (1..200u32).flat_map(|v| [(0, v), (v, 0)]).collect();
+        let csr = Csr::from_edges(200, &edges);
+        let expect = reference::bfs_levels(&csr, 0);
+
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr).with_in_edges(&mut dev);
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let adaptive = Runner::new().run(&mut dev, &g, &mut eng, &mut app, 0);
+        let dist_adaptive = app.distances().to_vec();
+
+        assert!(
+            adaptive.direction_trace.contains('<'),
+            "star graph must trigger pull: {}",
+            adaptive.direction_trace
+        );
+        assert_eq!(dist_adaptive, expect);
+
+        let push = Runner::push_only().run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(app.distances(), expect.as_slice());
+        assert_eq!(push.direction_trace, ">".repeat(push.iterations));
     }
 }

@@ -84,7 +84,7 @@ impl SageRuntime {
     #[must_use]
     pub fn with_threshold(dev: &mut Device, csr: Csr, threshold: u64) -> Self {
         let n = csr.num_nodes();
-        let graph = DeviceGraph::upload(dev, csr);
+        let graph = DeviceGraph::upload(dev, csr).with_in_edges(dev);
         let mut engine = ResidentEngine::new();
         engine.sampler = Some(Sampler::new(n, threshold));
         Self {

@@ -1,0 +1,137 @@
+//! Property-based tests for the direction optimizer: on arbitrary graphs
+//! the adaptive runner, the push-only runner, and the sequential reference
+//! all agree — exactly for BFS/CC, bitwise for PR between the two device
+//! pipelines — across every pull-capable engine, plus a deterministic
+//! hub-star family guaranteed to take the pull path.
+
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+use sage::app::{Bfs, Cc, PageRank};
+use sage::engine::{Engine, NaiveEngine, ResidentEngine, TiledPartitioningEngine};
+use sage::{reference, DeviceGraph, Runner};
+use sage_graph::{Csr, NodeId};
+
+fn edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let e = prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..max_m);
+        (Just(n), e)
+    })
+}
+
+fn pull_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(NaiveEngine::new()),
+        Box::new(TiledPartitioningEngine {
+            block_size: 16,
+            min_tile: 4,
+            align_tiles: true,
+        }),
+        Box::new(ResidentEngine::with_geometry(16, 4, true)),
+    ]
+}
+
+/// A hub star with back-edges: iteration 2's frontier carries nearly every
+/// edge endpoint, so the alpha trigger must flip BFS to pull.
+fn star(n: usize) -> Csr {
+    let es: Vec<(NodeId, NodeId)> = (1..n as NodeId).flat_map(|v| [(0, v), (v, 0)]).collect();
+    Csr::from_edges(n, &es)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bfs_adaptive_equals_push_and_reference((n, es) in edges(48, 192), src in 0u32..48) {
+        prop_assume!((src as usize) < n);
+        let g = Csr::from_edges(n, &es);
+        let expect = reference::bfs_levels(&g, src);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        for mut engine in pull_engines() {
+            let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
+            let mut app = Bfs::new(&mut dev);
+            let _ = Runner::new().run(&mut dev, &dg, engine.as_mut(), &mut app, src);
+            let adaptive = app.distances().to_vec();
+            let _ = Runner::push_only().run(&mut dev, &dg, engine.as_mut(), &mut app, src);
+            prop_assert_eq!(&adaptive, &expect, "adaptive {} vs reference", engine.name());
+            prop_assert_eq!(app.distances(), adaptive.as_slice(),
+                "push-only {} vs adaptive", engine.name());
+        }
+    }
+
+    #[test]
+    fn cc_adaptive_equals_push_and_reference((n, es) in edges(40, 160)) {
+        let g = Csr::from_edges(n, &es);
+        let expect = reference::cc_labels(&g);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        for mut engine in pull_engines() {
+            let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
+            let mut app = Cc::new(&mut dev);
+            let _ = Runner::new().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+            let adaptive = app.labels().to_vec();
+            let _ = Runner::push_only().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+            prop_assert_eq!(&adaptive, &expect, "adaptive {} vs reference", engine.name());
+            prop_assert_eq!(app.labels(), adaptive.as_slice(),
+                "push-only {} vs adaptive", engine.name());
+        }
+    }
+
+    #[test]
+    fn pr_adaptive_bitwise_equals_push((n, es) in edges(40, 160)) {
+        let g = Csr::from_edges(n, &es);
+        let expect = reference::pagerank(&g, 10);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        for mut engine in pull_engines() {
+            let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
+            let mut app = PageRank::new(&mut dev, 10, 0.0);
+            let _ = Runner::new().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+            let adaptive: Vec<u32> = app.ranks().iter().map(|p| p.to_bits()).collect();
+            let _ = Runner::push_only().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+            let push: Vec<u32> = app.ranks().iter().map(|p| p.to_bits()).collect();
+            // device pipelines agree to the bit (the fixed-point accumulator
+            // is order-independent); the host reference only approximately
+            prop_assert_eq!(&push, &adaptive, "push-only {} vs adaptive", engine.name());
+            for (i, (&p, &pr)) in app.ranks().iter().zip(&expect).enumerate() {
+                prop_assert!((f64::from(p) - pr).abs() < 1e-4 + 1e-2 * pr,
+                    "pr[{}]: {} vs {} ({})", i, p, pr, engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn forced_pull_star_agrees_across_engines(spokes in 40usize..120, src in 0u32..4) {
+        let n = spokes + 1;
+        prop_assume!((src as usize) < n);
+        let g = star(n);
+        let expect = reference::bfs_levels(&g, src);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        for mut engine in pull_engines() {
+            let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
+            let mut app = Bfs::new(&mut dev);
+            let r = Runner::new().run(&mut dev, &dg, engine.as_mut(), &mut app, src);
+            prop_assert!(r.direction_trace.contains('<'),
+                "star must pull on {}: {}", engine.name(), r.direction_trace);
+            prop_assert_eq!(app.distances(), expect.as_slice(),
+                "engine {} diverged under pull", engine.name());
+        }
+    }
+}
+
+/// The direction trace is an engine-independent function of graph + policy:
+/// every pull-capable engine makes the same per-iteration choice because the
+/// heuristic only reads host-side frontier statistics.
+#[test]
+fn direction_choice_is_engine_independent() {
+    let g = star(80);
+    let mut dev = Device::new(DeviceConfig::test_tiny());
+    let mut traces: Vec<String> = Vec::new();
+    for mut engine in pull_engines() {
+        let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
+        let mut app = Bfs::new(&mut dev);
+        let r = Runner::new().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+        traces.push(r.direction_trace);
+    }
+    assert!(
+        traces.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree on direction: {traces:?}"
+    );
+}

@@ -113,6 +113,22 @@ impl Worker {
                 apps: AppSet::default(),
             }
         });
+
+        // adapt at batch pickup, *before* reading the epoch: a reorder
+        // committed here is folded into the shared graph epoch ahead of this
+        // batch's cache keys, so the epoch a client observes in a response
+        // stays valid until some worker picks up new work — back-to-back
+        // query/re-query sequences hit the cache deterministically instead
+        // of racing a background epoch bump
+        let _ = state.rt.maybe_reorder(&mut self.dev);
+        let rt_epoch = state.rt.epoch();
+        if rt_epoch != state.seen_epoch {
+            let delta = rt_epoch - state.seen_epoch;
+            state.seen_epoch = rt_epoch;
+            let now = entry.epoch.fetch_add(delta, Ordering::AcqRel) + delta;
+            self.cache.sweep_stale(gid, now);
+        }
+
         let epoch = entry.epoch.load(Ordering::Acquire);
 
         // a submission-time miss may have been filled while the query sat in
@@ -192,17 +208,6 @@ impl Worker {
                 batch_size,
                 report: per_query,
             }));
-        }
-
-        // between batches: let the runtime adapt, then fold any epoch
-        // change into the shared graph epoch so caches invalidate
-        let _ = state.rt.maybe_reorder(&mut self.dev);
-        let rt_epoch = state.rt.epoch();
-        if rt_epoch != state.seen_epoch {
-            let delta = rt_epoch - state.seen_epoch;
-            state.seen_epoch = rt_epoch;
-            let now = entry.epoch.fetch_add(delta, Ordering::AcqRel) + delta;
-            self.cache.sweep_stale(gid, now);
         }
     }
 }
@@ -314,8 +319,11 @@ pub(crate) fn cache_hit_report(app: AppKind, latency: LatencyBreakdown) -> RunRe
         engine: "serve-cache".to_string(),
         iterations: 0,
         edges: 0,
+        edges_examined: 0,
         seconds: 0.0,
         overhead_seconds: 0.0,
+        direction_trace: String::new(),
+        converged: true,
         latency,
     }
 }

@@ -191,31 +191,76 @@ impl<'d> Kernel<'d> {
         let mut prev_host_sector: u64 = u64::MAX;
         for i in 0..self.scratch_sectors.len() {
             let s = self.scratch_sectors[i];
-            if is_host_addr(s * sector) {
-                // Out-of-core: the sector crosses PCIe; no device-cache fill
-                // (uncached zero-copy semantics — the UM pool in `host.rs`
-                // provides the cached alternative). Contiguous sectors of one
-                // warp access merge into a single DMA request — the
-                // "merged and aligned" behaviour of Min et al. [31] that
-                // SAGE's tile alignment exploits.
-                self.per_sm[sm].host_sectors += 1;
-                self.host_bytes += sector;
-                if s != prev_host_sector.wrapping_add(1) {
-                    self.host_requests += 1;
-                }
-                prev_host_sector = s;
-                continue;
+            self.charge_sector(sm, is_write, s, &mut prev_host_sector);
+        }
+    }
+
+    /// Probe one sector through the memory hierarchy and charge the outcome.
+    /// Host-space sectors become PCIe traffic; contiguous host sectors merge
+    /// into a single DMA request (tracked through `prev_host_sector`) — the
+    /// "merged and aligned" behaviour of Min et al. [31] that SAGE's tile
+    /// alignment exploits. Device sectors probe L1 → L2 → DRAM (uncached
+    /// zero-copy semantics for host sectors — the UM pool in `host.rs`
+    /// provides the cached alternative).
+    fn charge_sector(&mut self, sm: usize, is_write: bool, s: u64, prev_host_sector: &mut u64) {
+        let sector = self.dev.cfg().sector_bytes as u64;
+        if is_host_addr(s * sector) {
+            self.per_sm[sm].host_sectors += 1;
+            self.host_bytes += sector;
+            if s != prev_host_sector.wrapping_add(1) {
+                self.host_requests += 1;
             }
-            let outcome = self.dev.probe_memory(sm, s);
+            *prev_host_sector = s;
+            return;
+        }
+        let outcome = self.dev.probe_memory(sm, s);
+        let c = &mut self.per_sm[sm];
+        match outcome {
+            (Probe::Hit, _) => c.l1_hits += 1,
+            (_, Some(Probe::Hit)) => c.l2_hits += 1,
+            _ => c.dram_sectors += 1,
+        }
+        if is_write {
+            c.write_sectors += 1;
+        }
+    }
+
+    /// A coalesced access over `count` contiguous `elem_bytes`-wide elements
+    /// starting at `base`: one warp-wide request per `warp_size` elements,
+    /// without materializing a per-lane address vector. Equivalent in cost
+    /// to calling [`Kernel::access`] on the same range chunked by warp
+    /// (contiguous host sectors additionally merge across the whole range,
+    /// as a streaming DMA would).
+    pub fn access_range(
+        &mut self,
+        sm: usize,
+        kind: AccessKind,
+        base: u64,
+        count: u64,
+        elem_bytes: usize,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let warp = self.dev.cfg().warp_size as u64;
+        let sector = self.dev.cfg().sector_bytes as u64;
+        let sm = sm % self.per_sm.len();
+        let is_write = kind == AccessKind::Write;
+        let mut prev_host_sector: u64 = u64::MAX;
+        let mut done = 0u64;
+        while done < count {
+            let lanes = warp.min(count - done);
+            let lo = base + done * elem_bytes as u64;
+            let hi = lo + lanes * elem_bytes as u64 - 1;
             let c = &mut self.per_sm[sm];
-            match outcome {
-                (Probe::Hit, _) => c.l1_hits += 1,
-                (_, Some(Probe::Hit)) => c.l2_hits += 1,
-                _ => c.dram_sectors += 1,
+            c.mem_requests += 1;
+            c.warp_insts += 1.0;
+            c.active_lanes += lanes as f64;
+            c.lane_slots += warp as f64;
+            for s in (lo / sector)..=(hi / sector) {
+                self.charge_sector(sm, is_write, s, &mut prev_host_sector);
             }
-            if is_write {
-                c.write_sectors += 1;
-            }
+            done += lanes;
         }
     }
 
@@ -576,6 +621,64 @@ mod tests {
         k.exec(0, 10, 2, 8);
         let _ = k.finish();
         assert!(d.profiler().simt_efficiency() < 0.5);
+    }
+
+    #[test]
+    fn access_range_matches_per_warp_access_cost() {
+        let warp = DeviceConfig::test_tiny().warp_size;
+        // identical range charged both ways must produce identical counters
+        let run = |ranged: bool| {
+            let mut d = dev();
+            let mut k = d.launch("range");
+            let base = 4096u64;
+            let count = 100u64;
+            if ranged {
+                k.access_range(0, AccessKind::Read, base, count, 4);
+            } else {
+                let addrs: Vec<u64> = (0..count).map(|i| base + i * 4).collect();
+                for chunk in addrs.chunks(warp) {
+                    k.access(0, AccessKind::Read, chunk, 4);
+                }
+            }
+            let _ = k.finish();
+            (
+                d.profiler().mem_requests,
+                d.profiler().total_sectors(),
+                d.profiler().warp_insts.to_bits(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn access_range_on_host_memory_merges_dma_requests() {
+        let mut d = dev();
+        let mut h = crate::mem::Allocator::new(MemSpace::Host);
+        let base = h.alloc(1 << 16);
+        let mut k = d.launch("ooc_range");
+        k.access_range(0, AccessKind::Read, base, 1024, 4);
+        let r = k.finish();
+        assert!(r.pcie_bytes > 0);
+        // the whole contiguous range is one streaming DMA request
+        assert_eq!(d.profiler().pcie_requests, 1);
+    }
+
+    #[test]
+    fn empty_access_range_is_free() {
+        let mut d = dev();
+        let mut k = d.launch("empty_range");
+        k.access_range(0, AccessKind::Read, 4096, 0, 4);
+        let _ = k.finish();
+        assert_eq!(d.profiler().mem_requests, 0);
+    }
+
+    #[test]
+    fn access_range_write_counts_write_sectors() {
+        let mut d = dev();
+        let mut k = d.launch("wr_range");
+        k.access_range(0, AccessKind::Write, 4096, 64, 4);
+        let _ = k.finish();
+        assert!(d.profiler().write_sectors > 0);
     }
 
     #[test]
