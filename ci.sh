@@ -12,10 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== determinism (release): parallel simulation == sequential, bit for bit =="
+cargo test --release -q -p sage --test prop_determinism
+cargo test --release -q -p gpu-sim kernel::
+
 echo "== traversal_bench (writes BENCH_traversal.json) =="
 # asserts adaptive >= push-only on BFS and bitwise-identical outputs,
-# and self-validates the emitted JSON — a non-zero exit fails CI
-cargo run --release -q -p sage-bench --bin traversal_bench
+# and self-validates the emitted JSON — a non-zero exit fails CI.
+# Runs at 1 and 4 host threads; the host sweep line prints the measured
+# speedup of the SM-sharded backend over the sequential path.
+cargo run --release -q -p sage-bench --bin traversal_bench -- --threads 1
+cargo run --release -q -p sage-bench --bin traversal_bench -- --threads 4
 test -s BENCH_traversal.json || { echo "BENCH_traversal.json missing"; exit 1; }
 
 echo "== serve_bench (writes BENCH_serve.json) =="

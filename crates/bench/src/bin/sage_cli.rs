@@ -3,7 +3,7 @@
 //! ```text
 //! sage_cli <app> [--graph FILE | --dataset NAME] [--engine NAME]
 //!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
-//!          [--push-only]
+//!          [--push-only] [--threads N]
 //!
 //!   app       bfs | bc | pr | cc | sssp | mis | kcore | serve
 //!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
@@ -15,6 +15,11 @@
 //!   --out-of-core  place the graph in host memory behind PCIe
 //!   --profile print Nsight-style counters after the run
 //!   --push-only disable the adaptive direction optimizer (always push)
+//!   --threads host threads for the SM-sharded simulation. Precedence:
+//!             this flag > the SAGE_HOST_THREADS environment variable > all
+//!             available cores; always clamped to the device's SM count.
+//!             1 = the sequential reference path (results are bitwise
+//!             identical either way).
 //!
 //! serve mode (concurrent query service over a device pool):
 //!   sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]
@@ -48,6 +53,7 @@ struct Args {
     out_of_core: bool,
     profile: bool,
     push_only: bool,
+    threads: Option<usize>,
     devices: usize,
     requests: usize,
 }
@@ -56,7 +62,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sage_cli <bfs|bc|pr|cc|sssp|mis|kcore> [--graph FILE | --dataset NAME] \
          [--engine sage|sage-tp|naive|b40c|tigr|gunrock|ligra] [--source N] \
-         [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only]\n\
+         [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only] [--threads N]\n\
          \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]"
     );
     exit(2)
@@ -80,6 +86,7 @@ fn parse_args() -> Args {
         out_of_core: false,
         profile: false,
         push_only: false,
+        threads: None,
         devices: 2,
         requests: 64,
     };
@@ -100,6 +107,9 @@ fn parse_args() -> Args {
             "--out-of-core" => args.out_of_core = true,
             "--profile" => args.profile = true,
             "--push-only" => args.push_only = true,
+            "--threads" => {
+                args.threads = Some(value("--threads").parse().unwrap_or_else(|_| usage()));
+            }
             "--devices" => args.devices = value("--devices").parse().unwrap_or_else(|_| usage()),
             "--requests" => {
                 args.requests = value("--requests").parse().unwrap_or_else(|_| usage());
@@ -265,6 +275,11 @@ fn main() {
     }
 
     let mut dev = Device::default_device();
+    if let Some(t) = args.threads {
+        // CLI beats SAGE_HOST_THREADS, which beat the all-cores default when
+        // the device was built; the setter clamps to [1, num_sms].
+        dev.set_host_threads(t);
+    }
     let mut engine: Box<dyn Engine> = if args.out_of_core && args.engine == "subway" {
         Box::new(SubwayEngine::new(&mut dev, csr.num_edges()))
     } else {
@@ -296,7 +311,12 @@ fn main() {
     };
     for i in 0..args.repeat.max(1) {
         let r = runner.run(&mut dev, &g, engine.as_mut(), app.as_mut(), args.source);
-        println!("run {i}: {r}");
+        println!(
+            "run {i}: {r} | host {:.1} ms on {} thread{}",
+            r.host_seconds * 1e3,
+            r.host_threads,
+            if r.host_threads == 1 { "" } else { "s" }
+        );
     }
     if args.profile {
         println!("\nprofiler:\n{}", dev.profiler());

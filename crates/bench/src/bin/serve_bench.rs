@@ -186,6 +186,7 @@ fn main() {
         queue_capacity: queries * 2,
         ..ServiceConfig::default()
     };
+    let pool_sms = cfg.device_config.num_sms;
     let service = SageService::start(cfg);
     let csr = sage_graph::gen::uniform_graph(nodes, edges, 42);
     eprintln!(
@@ -243,9 +244,13 @@ fn main() {
         stats.cache_entries,
     );
 
+    // spare-core budget the workers may use when their queue is drained
+    // (1 under load: concurrency comes from the device pool instead)
+    let spare_threads = gpu_sim::default_host_threads(pool_sms);
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"devices\": {},\n  \"queries_per_phase\": {},\n  \
          \"graph_nodes\": {},\n  \"graph_epoch\": {},\n  \
+         \"host_spare_threads\": {spare_threads},\n  \
          \"overall_cache_hit_rate\": {:.4},\n  \
          \"phases\": [\n    {},\n    {},\n    {}\n  ]\n}}\n",
         devices,

@@ -9,7 +9,7 @@
 //! All per-node state arrays use 4-byte elements (i32 / f32 / u32), matching
 //! the paper's 4-byte-label analysis in §3.2.
 
-use gpu_sim::{AccessKind, Kernel};
+use gpu_sim::{AccessKind, SmShard};
 
 /// Width of every recorded element, bytes.
 pub const STATE_ELEM_BYTES: usize = 4;
@@ -72,21 +72,21 @@ impl AccessRecorder {
         self.atomics.clear();
     }
 
-    /// Charge everything recorded to `kernel` on `sm`, splitting into
+    /// Charge everything recorded to the shard's SM, splitting into
     /// warp-width requests, then clear.
-    pub fn flush(&mut self, kernel: &mut Kernel<'_>, sm: usize) {
-        let warp = kernel.cfg().warp_size;
+    pub fn flush(&mut self, sh: &mut SmShard<'_, '_>) {
+        let warp = sh.cfg().warp_size;
         for chunk in self.reads.chunks(warp) {
-            kernel.access(sm, AccessKind::Read, chunk, STATE_ELEM_BYTES);
+            sh.access(AccessKind::Read, chunk, STATE_ELEM_BYTES);
         }
         for chunk in self.writes.chunks(warp) {
-            kernel.access(sm, AccessKind::Write, chunk, STATE_ELEM_BYTES);
+            sh.access(AccessKind::Write, chunk, STATE_ELEM_BYTES);
         }
         let mut scratch: Vec<u64> = Vec::new();
         for chunk in self.atomics.chunks_mut(warp) {
             scratch.clear();
             scratch.extend_from_slice(chunk);
-            kernel.atomic(sm, &mut scratch);
+            sh.atomic(&mut scratch);
         }
         self.clear();
     }
@@ -118,7 +118,7 @@ mod tests {
         }
         r.atomic(1024);
         let mut k = d.launch("flush");
-        r.flush(&mut k, 0);
+        r.flush(&mut k.shard(0));
         let _ = k.finish();
         assert!(r.is_empty());
         assert!(d.profiler().mem_requests > 0);
@@ -134,7 +134,7 @@ mod tests {
                 r.read(a);
             }
             let mut k = d.launch("x");
-            r.flush(&mut k, 0);
+            r.flush(&mut k.shard(0));
             let _ = k.finish();
             d.profiler().total_sectors()
         };

@@ -76,12 +76,12 @@ impl Engine for B40cEngine {
             .clamp(warp, self.block_size);
 
         for (bi, chunk) in frontier.chunks(chunk_size).enumerate() {
-            let sm = bi % sms;
-            charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
+            let mut sh = k.shard(bi % sms);
+            charge_offset_reads(&mut sh, g, chunk, &mut scratch);
             for &f in chunk {
                 app.on_frontier(f, &mut rec);
             }
-            rec.flush(&mut k, sm);
+            rec.flush(&mut sh);
 
             let mut small: Vec<(NodeId, u32)> = Vec::new();
             for &f in chunk {
@@ -92,10 +92,9 @@ impl Engine for B40cEngine {
                     let mut off = beg;
                     while off < beg + deg {
                         let len = (self.block_size as u32).min(beg + deg - off);
-                        k.sync(sm);
+                        sh.sync();
                         out.edges += gather_filter_range(
-                            &mut k,
-                            sm,
+                            &mut sh,
                             g,
                             app,
                             f,
@@ -114,8 +113,7 @@ impl Engine for B40cEngine {
                     while off < beg + deg {
                         let len = (warp as u32).min(beg + deg - off);
                         out.edges += gather_filter_range(
-                            &mut k,
-                            sm,
+                            &mut sh,
                             g,
                             app,
                             f,
@@ -138,11 +136,10 @@ impl Engine for B40cEngine {
             // barrier per packed batch
             let log_b = self.block_size.trailing_zeros() as u64;
             for batch in small.chunks(self.block_size) {
-                k.exec_uniform(sm, 2 * log_b);
-                k.sync(sm);
+                sh.exec_uniform(2 * log_b);
+                sh.sync();
                 out.edges += gather_filter_scattered(
-                    &mut k,
-                    sm,
+                    &mut sh,
                     g,
                     app,
                     batch,

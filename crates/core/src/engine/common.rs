@@ -7,7 +7,7 @@ use crate::app::{App, PullStep};
 use crate::dgraph::DeviceGraph;
 use crate::frontier::BitFrontier;
 use gpu_sim::tile::{charge_shfl, charge_vote};
-use gpu_sim::{AccessKind, Device, Kernel, Tile};
+use gpu_sim::{AccessKind, Device, Kernel, SmShard, Tile};
 use sage_graph::NodeId;
 
 /// Observes the node groups each tile accesses concurrently — the hook
@@ -28,20 +28,19 @@ impl TileObserver for NoObserver {
 /// Charge the `u_offset[f]`/`u_offset[f+1]` reads for a group of frontiers
 /// (each lane reads its frontier's range — two adjacent 4-byte words).
 pub fn charge_offset_reads(
-    k: &mut Kernel<'_>,
-    sm: usize,
+    sh: &mut SmShard<'_, '_>,
     g: &DeviceGraph,
     frontiers: &[NodeId],
     addr_scratch: &mut Vec<u64>,
 ) {
-    let warp = k.cfg().warp_size;
+    let warp = sh.cfg().warp_size;
     for chunk in frontiers.chunks(warp) {
         addr_scratch.clear();
         for &f in chunk {
             addr_scratch.push(g.offset_addr(f));
             addr_scratch.push(g.offset_addr(f + 1));
         }
-        k.access(sm, AccessKind::Read, addr_scratch, 4);
+        sh.access(AccessKind::Read, addr_scratch, 4);
     }
 }
 
@@ -54,8 +53,7 @@ pub fn charge_offset_reads(
 /// Sampling-based Reordering closes.
 #[allow(clippy::too_many_arguments)]
 pub fn gather_filter_range(
-    k: &mut Kernel<'_>,
-    sm: usize,
+    sh: &mut SmShard<'_, '_>,
     g: &DeviceGraph,
     app: &mut dyn App,
     frontier: NodeId,
@@ -69,7 +67,7 @@ pub fn gather_filter_range(
     if len == 0 {
         return 0;
     }
-    let warp = k.cfg().warp_size as u32;
+    let warp = sh.cfg().warp_size as u32;
     let targets = g.csr().targets();
     let members = &targets[beg as usize..(beg + len) as usize];
     observer.observe(members);
@@ -82,7 +80,7 @@ pub fn gather_filter_range(
         for i in 0..n {
             addr_scratch.push(g.target_addr(idx + i));
         }
-        k.access(sm, AccessKind::Read, addr_scratch, 4);
+        sh.access(AccessKind::Read, addr_scratch, 4);
         idx += n;
     }
 
@@ -91,7 +89,7 @@ pub fn gather_filter_range(
             next.push(nb);
         }
     }
-    rec.flush(k, sm);
+    rec.flush(sh);
     u64::from(len)
 }
 
@@ -100,8 +98,7 @@ pub fn gather_filter_range(
 /// coalesce only accidentally.
 #[allow(clippy::too_many_arguments)]
 pub fn gather_filter_scattered(
-    k: &mut Kernel<'_>,
-    sm: usize,
+    sh: &mut SmShard<'_, '_>,
     g: &DeviceGraph,
     app: &mut dyn App,
     pairs: &[(NodeId, u32)],
@@ -109,21 +106,21 @@ pub fn gather_filter_scattered(
     next: &mut Vec<NodeId>,
     addr_scratch: &mut Vec<u64>,
 ) -> u64 {
-    let warp = k.cfg().warp_size;
+    let warp = sh.cfg().warp_size;
     let targets = g.csr().targets();
     for chunk in pairs.chunks(warp) {
         addr_scratch.clear();
         for &(_, idx) in chunk {
             addr_scratch.push(g.target_addr(idx));
         }
-        k.access(sm, AccessKind::Read, addr_scratch, 4);
+        sh.access(AccessKind::Read, addr_scratch, 4);
         for &(f, idx) in chunk {
             let nb = targets[idx as usize];
             if app.filter(f, nb, rec) {
                 next.push(nb);
             }
         }
-        rec.flush(k, sm);
+        rec.flush(sh);
     }
     pairs.len() as u64
 }
@@ -172,8 +169,7 @@ pub struct PullConfig {
 /// number of in-edges examined.
 #[allow(clippy::too_many_arguments)]
 pub fn pull_scan_node(
-    k: &mut Kernel<'_>,
-    sm: usize,
+    sh: &mut SmShard<'_, '_>,
     g: &DeviceGraph,
     app: &mut dyn App,
     u: NodeId,
@@ -183,12 +179,12 @@ pub fn pull_scan_node(
     addr_scratch: &mut Vec<u64>,
 ) -> u64 {
     let in_csr = g.in_csr().expect("pull requires the in-edge view");
-    let warp = k.cfg().warp_size;
+    let warp = sh.cfg().warp_size;
     let beg = in_csr.offset(u);
     let deg = in_csr.degree(u) as u32;
     if deg == 0 {
         app.pull_finish(u, rec);
-        rec.flush(k, sm);
+        rec.flush(sh);
         return 0;
     }
     let sources = &in_csr.targets()[beg as usize..(beg + deg) as usize];
@@ -197,8 +193,7 @@ pub fn pull_scan_node(
     'scan: for (ci, chunk) in sources.chunks(warp).enumerate() {
         let idx0 = beg + (ci * warp) as u32;
         // consecutive CSR indices: one coalesced request per warp
-        k.access_range(
-            sm,
+        sh.access_range(
             AccessKind::Read,
             g.in_target_addr(idx0),
             chunk.len() as u64,
@@ -209,7 +204,7 @@ pub fn pull_scan_node(
         for &v in chunk {
             addr_scratch.push(fr.word_addr(v));
         }
-        k.access(sm, AccessKind::Read, addr_scratch, 8);
+        sh.access(AccessKind::Read, addr_scratch, 8);
         for &v in chunk {
             edges += 1;
             if !fr.contains(v) {
@@ -232,11 +227,11 @@ pub fn pull_scan_node(
                 PullStep::Skip => {}
             }
         }
-        rec.flush(k, sm);
+        rec.flush(sh);
     }
-    rec.flush(k, sm);
+    rec.flush(sh);
     app.pull_finish(u, rec);
-    rec.flush(k, sm);
+    rec.flush(sh);
     edges
 }
 
@@ -281,15 +276,16 @@ pub fn pull_iterate(
         let sm = bi % sms;
         let hi = (lo + block).min(n);
         let mut chunk_lo = lo;
+        let mut sh = k.shard(sm);
         while chunk_lo < hi {
             let chunk_hi = (chunk_lo + warp).min(hi);
-            k.exec(sm, 1, chunk_hi - chunk_lo, warp);
+            sh.exec(1, chunk_hi - chunk_lo, warp);
             for u in chunk_lo..chunk_hi {
                 if app.pull_candidate(u as NodeId, &mut rec) {
                     candidates.push(u as NodeId);
                 }
             }
-            rec.flush(&mut k, sm);
+            rec.flush(&mut sh);
             chunk_lo = chunk_hi;
         }
     }
@@ -309,17 +305,16 @@ pub fn pull_iterate(
     // in-edge scans, ascending candidate order
     let tile = Tile::new(warp);
     for (bi, chunk) in candidates.chunks(block).enumerate() {
-        let sm = bi % sms;
+        let mut sh = k.shard(bi % sms);
         for &u in chunk {
             if cfg.cooperative {
                 // the tile elects the candidate leader and broadcasts its
                 // in-range before the coalesced strides
-                overhead_insts += charge_vote(&mut k, sm, tile);
-                overhead_insts += charge_shfl(&mut k, sm, tile);
+                overhead_insts += charge_vote(&mut sh, tile);
+                overhead_insts += charge_shfl(&mut sh, tile);
             }
             out.edges += pull_scan_node(
-                &mut k,
-                sm,
+                &mut sh,
                 g,
                 app,
                 u,
@@ -423,8 +418,7 @@ mod tests {
         let mut scratch = Vec::new();
         let mut k = dev.launch("test");
         let edges = gather_filter_range(
-            &mut k,
-            0,
+            &mut k.shard(0),
             &g,
             &mut app,
             0,
@@ -452,8 +446,7 @@ mod tests {
         let mut scratch = Vec::new();
         let mut k = dev.launch("test");
         let edges = gather_filter_scattered(
-            &mut k,
-            0,
+            &mut k.shard(0),
             &g,
             &mut app,
             &pairs,
@@ -483,8 +476,7 @@ mod tests {
         let mut scratch = Vec::new();
         let mut k = dev.launch("test");
         gather_filter_range(
-            &mut k,
-            0,
+            &mut k.shard(0),
             &g,
             &mut app,
             0,
@@ -509,8 +501,7 @@ mod tests {
         let mut scratch = Vec::new();
         let mut k = dev.launch("test");
         let edges = gather_filter_range(
-            &mut k,
-            0,
+            &mut k.shard(0),
             &g,
             &mut app,
             0,

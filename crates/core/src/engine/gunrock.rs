@@ -60,9 +60,9 @@ impl Engine for GunrockEngine {
             let mut k = dev.launch("gunrock_scan");
             k.set_concurrency(k.cfg().max_resident_warps as f64);
             for (ci, chunk) in frontier.chunks(warp).enumerate() {
-                let sm = ci % sms;
-                charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
-                k.exec_uniform(sm, 2 + warp.trailing_zeros() as u64);
+                let mut sh = k.shard(ci % sms);
+                charge_offset_reads(&mut sh, g, chunk, &mut scratch);
+                sh.exec_uniform(2 + warp.trailing_zeros() as u64);
                 for &f in chunk {
                     prefix.push(prefix.last().unwrap() + g.csr().degree(f) as u64);
                 }
@@ -76,11 +76,10 @@ impl Engine for GunrockEngine {
         k.set_concurrency(k.cfg().max_resident_warps as f64);
         // per-frontier state work
         for (ci, chunk) in frontier.chunks(warp).enumerate() {
-            let sm = ci % sms;
             for &f in chunk {
                 app.on_frontier(f, &mut rec);
             }
-            rec.flush(&mut k, sm);
+            rec.flush(&mut k.shard(ci % sms));
         }
 
         let chunks = total_edges.div_ceil(u64::from(self.chunk_edges)).max(1);
@@ -98,8 +97,8 @@ impl Engine for GunrockEngine {
             // resident tiles avoid re-paying each iteration
             let lanes = (hi - lo) as usize;
             let warp_sz = k.cfg().warp_size;
-            k.exec(
-                sm,
+            let mut sh = k.shard(sm);
+            sh.exec(
                 log_f * lanes.div_ceil(warp_sz) as u64,
                 lanes.min(warp_sz),
                 warp_sz,
@@ -113,8 +112,7 @@ impl Engine for GunrockEngine {
                 }
                 let f = frontier[row];
                 // each covered row's offsets are re-read by its lanes
-                k.access(
-                    sm,
+                sh.access(
                     AccessKind::Read,
                     &[g.offset_addr(f), g.offset_addr(f + 1)],
                     4,
@@ -123,8 +121,7 @@ impl Engine for GunrockEngine {
                 let in_row = (pos - prefix[row]) as u32;
                 let len = ((prefix[row + 1] - pos).min(hi - pos)) as u32;
                 out.edges += gather_filter_range(
-                    &mut k,
-                    sm,
+                    &mut sh,
                     g,
                     app,
                     f,

@@ -59,12 +59,12 @@ impl Engine for NaiveEngine {
 
         for (wi, chunk) in frontier.chunks(warp).enumerate() {
             let block = wi / (self.block_size / warp).max(1);
-            let sm = block % sms;
-            charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
+            let mut sh = k.shard(block % sms);
+            charge_offset_reads(&mut sh, g, chunk, &mut scratch);
             for &f in chunk {
                 app.on_frontier(f, &mut rec);
             }
-            rec.flush(&mut k, sm);
+            rec.flush(&mut sh);
 
             let degs: Vec<u32> = chunk.iter().map(|&f| g.csr().degree(f) as u32).collect();
             let offs: Vec<u32> = chunk.iter().map(|&f| g.csr().offset(f)).collect();
@@ -79,10 +79,9 @@ impl Engine for NaiveEngine {
                     }
                 }
                 // loop bookkeeping with divergence: idle lanes stay masked
-                k.exec(sm, 2, pairs.len(), warp);
+                sh.exec(2, pairs.len(), warp);
                 out.edges += gather_filter_scattered(
-                    &mut k,
-                    sm,
+                    &mut sh,
                     g,
                     app,
                     &pairs,

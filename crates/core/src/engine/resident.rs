@@ -171,11 +171,12 @@ impl Engine for ResidentEngine {
                 .clamp(warp, self.block_size.max(warp));
             for (bi, chunk) in frontier.chunks(chunk_size).enumerate() {
                 let sm = bi % sms;
-                charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
+                let mut sh = k.shard(sm);
+                charge_offset_reads(&mut sh, g, chunk, &mut scratch);
                 for &f in chunk {
                     app.on_frontier(f, &mut rec);
                 }
-                rec.flush(&mut k, sm);
+                rec.flush(&mut sh);
 
                 for &f in chunk {
                     let fi = f as usize;
@@ -191,13 +192,13 @@ impl Engine for ResidentEngine {
                         self.record_addr[fi] = self.records_cursor;
                         self.records_cursor += bytes;
                         // decomposition bookkeeping + record writes
-                        let w = k.cfg().warp_size;
-                        k.exec(sm, 2 + recs.len() as u64, 1, w);
+                        let w = sh.cfg().warp_size;
+                        sh.exec(2 + recs.len() as u64, 1, w);
                         scratch.clear();
                         for i in 0..recs.len() as u64 {
                             scratch.push(self.record_addr[fi] + i * 8);
                         }
-                        k.access(sm, AccessKind::Write, &scratch, 8);
+                        sh.access(AccessKind::Write, &scratch, 8);
                         self.records[fi] = Some(recs);
                     } else {
                         // reuse: read the resident records back
@@ -206,7 +207,7 @@ impl Engine for ResidentEngine {
                         for i in 0..len as u64 {
                             scratch.push(self.record_addr[fi] + i * 8);
                         }
-                        k.access(sm, AccessKind::Read, &scratch, 8);
+                        sh.access(AccessKind::Read, &scratch, 8);
                     }
                     for r in self.records[fi].as_ref().unwrap().iter() {
                         if r.len >= self.min_tile as u32 {
@@ -243,15 +244,15 @@ impl Engine for ResidentEngine {
                 // broadcast), regardless of how wide the claimed tile is.
                 let warp = k.cfg().warp_size;
                 let tile = Tile::new((r.len as usize).next_power_of_two().clamp(2, warp));
-                charge_vote(&mut k, sm, tile);
-                charge_shfl(&mut k, sm, tile);
+                let mut sh = k.shard(sm);
+                charge_vote(&mut sh, tile);
+                charge_shfl(&mut sh, tile);
                 let obs: &mut dyn TileObserver = match sampler.as_mut() {
                     Some(s) => s,
                     None => &mut NoObserver,
                 };
                 out.edges += gather_filter_range(
-                    &mut k,
-                    sm,
+                    &mut sh,
                     g,
                     app,
                     f,
@@ -267,10 +268,8 @@ impl Engine for ResidentEngine {
             // fragments: scan-based gathering spread across SMs
             let warp = k.cfg().warp_size;
             for (ci, chunk) in frags.chunks(warp).enumerate() {
-                let sm = ci % sms;
                 out.edges += gather_filter_scattered(
-                    &mut k,
-                    sm,
+                    &mut k.shard(ci % sms),
                     g,
                     app,
                     chunk,

@@ -91,12 +91,12 @@ impl Engine for TiledPartitioningEngine {
         k.set_concurrency(warps_per_block * co_resident);
 
         for (bi, chunk) in frontier.chunks(self.block_size).enumerate() {
-            let sm = bi % sms;
-            charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
+            let mut sh = k.shard(bi % sms);
+            charge_offset_reads(&mut sh, g, chunk, &mut scratch);
             for &f in chunk {
                 app.on_frontier(f, &mut rec);
             }
-            rec.flush(&mut k, sm);
+            rec.flush(&mut sh);
 
             // per-lane expansion state
             let mut beg: Vec<u32> = chunk.iter().map(|&f| g.csr().offset(f)).collect();
@@ -134,25 +134,24 @@ impl Engine for TiledPartitioningEngine {
                     let hi = (lo + tile_size).min(chunk.len());
                     loop {
                         // line 9: tile.any(neighbor_size >= tile.size())
-                        overhead_insts += charge_vote(&mut k, sm, tile);
+                        overhead_insts += charge_vote(&mut sh, tile);
                         let leader = (lo..hi).find(|&i| (end[i] - beg[i]) as usize >= tile_size);
                         let Some(li) = leader else { break };
                         // lines 10-19: elect + shfl(u_beg) + shfl(u_end) +
                         // shfl(frontier)
-                        overhead_insts += charge_vote(&mut k, sm, tile);
-                        overhead_insts += charge_shfl(&mut k, sm, tile);
-                        overhead_insts += charge_shfl(&mut k, sm, tile);
-                        overhead_insts += charge_shfl(&mut k, sm, tile);
+                        overhead_insts += charge_vote(&mut sh, tile);
+                        overhead_insts += charge_shfl(&mut sh, tile);
+                        overhead_insts += charge_shfl(&mut sh, tile);
+                        overhead_insts += charge_shfl(&mut sh, tile);
 
                         let f = chunk[li];
                         let d = end[li] - beg[li];
                         let strides = d / tile_size as u32;
                         for s in 0..strides {
                             // line 21: tile.all(gather < gather_end)
-                            overhead_insts += charge_vote(&mut k, sm, tile);
+                            overhead_insts += charge_vote(&mut sh, tile);
                             out.edges += gather_filter_range(
-                                &mut k,
-                                sm,
+                                &mut sh,
                                 g,
                                 app,
                                 f,
@@ -169,7 +168,7 @@ impl Engine for TiledPartitioningEngine {
                     }
                 }
                 // line 28: cg::partition
-                overhead_insts += charge_partition(&mut k, sm, tile);
+                overhead_insts += charge_partition(&mut sh, tile);
                 if tile_size == 1 {
                     break;
                 }
@@ -177,7 +176,7 @@ impl Engine for TiledPartitioningEngine {
             }
 
             // line 31-32: block sync, then scan-based fragment handling [30]
-            k.sync(sm);
+            sh.sync();
             let mut frags = head_frags;
             for (i, &f) in chunk.iter().enumerate() {
                 for idx in beg[i]..end[i] {
@@ -186,10 +185,9 @@ impl Engine for TiledPartitioningEngine {
             }
             // CTA-wide prefix scan over fragment counts
             overhead_insts += 2 * (self.block_size.trailing_zeros() as u64);
-            k.exec_uniform(sm, 2 * u64::from(self.block_size.trailing_zeros()));
+            sh.exec_uniform(2 * u64::from(self.block_size.trailing_zeros()));
             out.edges += gather_filter_scattered(
-                &mut k,
-                sm,
+                &mut sh,
                 g,
                 app,
                 &frags,

@@ -89,11 +89,11 @@ impl Engine for SubwayEngine {
             self.flip ^= 1;
             let mut cursor = 0usize; // packed position in the staging buffer
             for (bi, chunk) in frontier.chunks(256).enumerate() {
-                let sm = bi % sms;
+                let mut sh = k.shard(bi % sms);
                 for &f in chunk {
                     app.on_frontier(f, &mut rec);
                 }
-                rec.flush(&mut k, sm);
+                rec.flush(&mut sh);
                 for &f in chunk {
                     let deg = g.csr().degree(f) as u32;
                     if deg == 0 {
@@ -109,7 +109,7 @@ impl Engine for SubwayEngine {
                             let pos = (cursor + i) % self.staging_len;
                             scratch.push(base + (pos * 4) as u64);
                         }
-                        k.access(sm, AccessKind::Read, &scratch, 4);
+                        sh.access(AccessKind::Read, &scratch, 4);
                         cursor += len as usize;
                         // filter via functional adjacency
                         for i in 0..len {
@@ -119,7 +119,7 @@ impl Engine for SubwayEngine {
                                 out.next.push(nb);
                             }
                         }
-                        rec.flush(&mut k, sm);
+                        rec.flush(&mut sh);
                         off += len;
                     }
                 }

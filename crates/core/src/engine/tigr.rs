@@ -122,8 +122,8 @@ impl Engine for TigrEngine {
         // expand real frontiers to virtual nodes (auxiliary reads)
         let mut vlist: Vec<u32> = Vec::new();
         for (ci, chunk) in frontier.chunks(warp).enumerate() {
-            let sm = ci % sms;
-            charge_offset_reads(&mut k, sm, g, chunk, &mut scratch);
+            let mut sh = k.shard(ci % sms);
+            charge_offset_reads(&mut sh, g, chunk, &mut scratch);
             scratch.clear();
             for &f in chunk {
                 app.on_frontier(f, &mut rec);
@@ -131,8 +131,8 @@ impl Engine for TigrEngine {
                 let (a, b) = self.v_of[f as usize];
                 vlist.extend(a..b);
             }
-            k.access(sm, AccessKind::Read, &scratch, 8);
-            rec.flush(&mut k, sm);
+            sh.access(AccessKind::Read, &scratch, 8);
+            rec.flush(&mut sh);
         }
 
         // UDT alters the topology (§3.1): a split node's adjacency is
@@ -168,16 +168,11 @@ impl Engine for TigrEngine {
         for (vi, &v) in vlist.iter().enumerate() {
             let sm = (vi / (256 / warp).max(1)) % sms;
             let vn = self.virtuals[v as usize];
+            let mut sh = k.shard(sm);
             // auxiliary read of the virtual node descriptor
-            k.access(
-                sm,
-                AccessKind::Read,
-                &[self.aux_base + u64::from(v) * 12],
-                12,
-            );
+            sh.access(AccessKind::Read, &[self.aux_base + u64::from(v) * 12], 12);
             out.edges += gather_filter_range(
-                &mut k,
-                sm,
+                &mut sh,
                 g,
                 app,
                 vn.real,

@@ -75,6 +75,10 @@ pub struct RunReport {
     pub converged: bool,
     /// Host-side query-latency breakdown (zeros outside a serving layer).
     pub latency: LatencyBreakdown,
+    /// Host wall-clock seconds the simulation itself took to run.
+    pub host_seconds: f64,
+    /// Host threads the simulation was allowed to use (1 = sequential).
+    pub host_threads: usize,
 }
 
 impl RunReport {
@@ -113,6 +117,8 @@ impl RunReport {
             self.direction_trace.push_str(&other.direction_trace);
         }
         self.latency.accumulate(&other.latency);
+        self.host_seconds += other.host_seconds;
+        self.host_threads = self.host_threads.max(other.host_threads);
     }
 }
 
@@ -160,6 +166,8 @@ mod tests {
             direction_trace: ">>>".into(),
             converged: true,
             latency: LatencyBreakdown::default(),
+            host_seconds: 0.0,
+            host_threads: 1,
         }
     }
 

@@ -151,6 +151,7 @@ impl MultiGpuDriver {
     pub fn run(&mut self, app: &mut dyn App, source: NodeId) -> RunReport {
         let cfg = self.cfg;
         let n_gpus = cfg.gpus;
+        let host_start = std::time::Instant::now();
         let start = self
             .devices
             .iter()
@@ -269,6 +270,13 @@ impl MultiGpuDriver {
             direction_trace: String::new(),
             converged: iterations < 100_000,
             latency: crate::metrics::LatencyBreakdown::default(),
+            host_seconds: host_start.elapsed().as_secs_f64(),
+            host_threads: self
+                .devices
+                .iter()
+                .map(Device::host_threads)
+                .max()
+                .unwrap_or(1),
         }
     }
 }

@@ -119,7 +119,7 @@ impl Engine for UmOocEngine {
             for &f in chunk {
                 app.on_frontier(f, &mut rec);
             }
-            rec.flush(&mut k, sm);
+            rec.flush(&mut k.shard(sm));
 
             for &f in chunk {
                 let deg = g.csr().degree(f) as u32;
@@ -139,7 +139,7 @@ impl Engine for UmOocEngine {
                             out.next.push(nb);
                         }
                     }
-                    rec.flush(&mut k, sm);
+                    rec.flush(&mut k.shard(sm));
                     off += len;
                 }
             }

@@ -93,6 +93,7 @@ impl Runner {
         source: NodeId,
     ) -> RunReport {
         let start = dev.elapsed_seconds();
+        let host_start = std::time::Instant::now();
         let n = g.csr().num_nodes();
         // double-buffered frontier queues (charged at contraction)
         let frontier_buf = dev.alloc_array::<u32>(n.max(1), 0);
@@ -250,6 +251,8 @@ impl Runner {
             direction_trace: trace,
             converged,
             latency: crate::metrics::LatencyBreakdown::default(),
+            host_seconds: host_start.elapsed().as_secs_f64(),
+            host_threads: dev.host_threads(),
         }
     }
 

@@ -1,0 +1,216 @@
+//! Determinism suite for the SM-sharded parallel simulation backend: on
+//! random power-law graphs, running the same traversal with 2, 4, or 8 host
+//! threads must produce **bitwise identical** results to the sequential
+//! path — application outputs, simulated cycles, and every cache counter
+//! (L1/L2 hits, DRAM sectors) — across BFS/CC/PR, in both the push-only and
+//! the adaptive (push+pull) pipelines, on every pull-capable engine.
+
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+use sage::app::{Bfs, Cc, PageRank};
+use sage::engine::{Engine, NaiveEngine, ResidentEngine, TiledPartitioningEngine};
+use sage::{DeviceGraph, Runner};
+use sage_graph::gen::{social_graph, SocialParams};
+use sage_graph::Csr;
+
+/// Thread counts exercised against the sequential baseline.
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// The tiny test device widened to 8 SMs so an 8-thread run is not clamped.
+fn cfg8() -> DeviceConfig {
+    DeviceConfig {
+        num_sms: 8,
+        ..DeviceConfig::test_tiny()
+    }
+}
+
+/// Engine factories: some engines (the resident-scheduling one) carry
+/// resident state across runs, so every measured run gets a fresh instance.
+fn engines() -> Vec<fn() -> Box<dyn Engine>> {
+    vec![
+        || Box::new(NaiveEngine::new()),
+        || {
+            Box::new(TiledPartitioningEngine {
+                block_size: 16,
+                min_tile: 4,
+                align_tiles: true,
+            })
+        },
+        || Box::new(ResidentEngine::with_geometry(16, 4, true)),
+    ]
+}
+
+fn graph(nodes: usize, avg_deg: f64, seed: u64) -> Csr {
+    social_graph(&SocialParams {
+        nodes,
+        avg_deg,
+        seed,
+        ..SocialParams::default()
+    })
+}
+
+#[derive(Clone, Copy)]
+enum AppSel {
+    Bfs,
+    Cc,
+    Pr,
+}
+
+/// Everything one run produces, captured as exact bit patterns.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Fingerprint {
+    outputs: Vec<u32>,
+    sim_cycles: u64,
+    report_seconds: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    dram: u64,
+    writes: u64,
+    atomics: u64,
+    edges: u64,
+    examined: u64,
+    trace: String,
+    host_threads: usize,
+}
+
+fn run_once(
+    csr: &Csr,
+    engine: &mut dyn Engine,
+    threads: usize,
+    adaptive: bool,
+    app: AppSel,
+    src: u32,
+) -> Fingerprint {
+    let mut dev = Device::new(cfg8());
+    dev.set_host_threads(threads);
+    let dg = DeviceGraph::upload(&mut dev, csr.clone()).with_in_edges(&mut dev);
+    let runner = if adaptive {
+        Runner::new()
+    } else {
+        Runner::push_only()
+    };
+    let (report, outputs) = match app {
+        AppSel::Bfs => {
+            let mut a = Bfs::new(&mut dev);
+            let r = runner.run(&mut dev, &dg, engine, &mut a, src);
+            (r, a.distances().iter().map(|&d| d as u32).collect())
+        }
+        AppSel::Cc => {
+            let mut a = Cc::new(&mut dev);
+            let r = runner.run(&mut dev, &dg, engine, &mut a, src);
+            (r, a.labels().to_vec())
+        }
+        AppSel::Pr => {
+            let mut a = PageRank::new(&mut dev, 8, 0.0);
+            let r = runner.run(&mut dev, &dg, engine, &mut a, src);
+            (r, a.ranks().iter().map(|p| p.to_bits()).collect())
+        }
+    };
+    let p = dev.profiler();
+    Fingerprint {
+        outputs,
+        sim_cycles: dev.elapsed_cycles().to_bits(),
+        report_seconds: report.seconds.to_bits(),
+        l1_hits: p.l1_hit_sectors,
+        l2_hits: p.l2_hit_sectors,
+        dram: p.dram_sectors,
+        writes: p.write_sectors,
+        atomics: p.atomics,
+        edges: report.edges,
+        examined: report.edges_examined,
+        trace: report.direction_trace,
+        host_threads: report.host_threads,
+    }
+}
+
+/// Assert every parallel thread count reproduces the sequential fingerprint
+/// bit for bit (modulo the reported thread budget itself).
+fn assert_deterministic(
+    csr: &Csr,
+    adaptive: bool,
+    app: AppSel,
+    src: u32,
+) -> Result<(), TestCaseError> {
+    for make in engines() {
+        let seq = run_once(csr, make().as_mut(), 1, adaptive, app, src);
+        prop_assert_eq!(seq.host_threads, 1);
+        for &t in &THREADS {
+            let mut engine = make();
+            let mut par = run_once(csr, engine.as_mut(), t, adaptive, app, src);
+            prop_assert_eq!(
+                par.host_threads,
+                t,
+                "thread budget lost on {}",
+                engine.name()
+            );
+            par.host_threads = seq.host_threads;
+            prop_assert_eq!(
+                &par,
+                &seq,
+                "{} threads diverged from sequential on {}",
+                t,
+                engine.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn bfs_parallel_matches_sequential_bitwise(
+        nodes in 60usize..160, seed in 0u64..1000, src in 0u32..60, adaptive in 0u8..2
+    ) {
+        let g = graph(nodes, 8.0, seed);
+        assert_deterministic(&g, adaptive == 1, AppSel::Bfs, src)?;
+    }
+
+    #[test]
+    fn cc_parallel_matches_sequential_bitwise(
+        nodes in 60usize..140, seed in 0u64..1000, adaptive in 0u8..2
+    ) {
+        let g = graph(nodes, 6.0, seed);
+        assert_deterministic(&g, adaptive == 1, AppSel::Cc, 0)?;
+    }
+
+    #[test]
+    fn pr_parallel_matches_sequential_bitwise(
+        nodes in 60usize..120, seed in 0u64..1000, adaptive in 0u8..2
+    ) {
+        let g = graph(nodes, 6.0, seed);
+        assert_deterministic(&g, adaptive == 1, AppSel::Pr, 0)?;
+    }
+}
+
+/// The whole engine roster (not just the pull-capable trio) agrees with its
+/// own sequential run on one fixed power-law graph — a cheap deterministic
+/// sweep that catches a port regression in any single engine.
+#[test]
+fn all_engines_deterministic_on_fixed_graph() {
+    use sage::engine::{B40cEngine, GunrockEngine};
+    let g = graph(200, 8.0, 42);
+    let roster: Vec<fn() -> Box<dyn Engine>> = vec![
+        || Box::new(NaiveEngine::new()),
+        || {
+            Box::new(TiledPartitioningEngine {
+                block_size: 16,
+                min_tile: 4,
+                align_tiles: true,
+            })
+        },
+        || Box::new(ResidentEngine::with_geometry(16, 4, true)),
+        || Box::new(B40cEngine::default()),
+        || Box::new(GunrockEngine::default()),
+    ];
+    for make in roster {
+        let seq = run_once(&g, make().as_mut(), 1, false, AppSel::Bfs, 0);
+        for &t in &THREADS {
+            let mut engine = make();
+            let mut par = run_once(&g, engine.as_mut(), t, false, AppSel::Bfs, 0);
+            par.host_threads = seq.host_threads;
+            assert_eq!(par, seq, "{} diverged at {} threads", engine.name(), t);
+        }
+    }
+}

@@ -173,6 +173,16 @@ impl Worker {
             });
         }
 
+        // borrow spare cores for this batch's kernel simulation when the
+        // admission queue is shallow (the other workers are starved anyway);
+        // under load every core runs a worker, so stay sequential
+        let spare = if self.queue.len() == 0 {
+            gpu_sim::default_host_threads(self.dev.cfg().num_sms)
+        } else {
+            1
+        };
+        self.dev.set_host_threads(spare);
+
         let exec_start = Instant::now();
         let (values_by_slot, mut report) = execute(&mut self.dev, state, &self.cfg, app, &sources);
         let exec_seconds = exec_start.elapsed().as_secs_f64();
@@ -325,6 +335,8 @@ pub(crate) fn cache_hit_report(app: AppKind, latency: LatencyBreakdown) -> RunRe
         direction_trace: String::new(),
         converged: true,
         latency,
+        host_seconds: 0.0,
+        host_threads: 1,
     }
 }
 

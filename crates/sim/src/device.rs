@@ -1,11 +1,28 @@
 //! The simulated device: configuration, caches, allocators, clock, profiler.
 
-use crate::cache::{Probe, SectorCache};
+use crate::cache::{Probe, SectorCache, SlicedCache};
 use crate::config::DeviceConfig;
 use crate::kernel::Kernel;
 use crate::mem::{Allocator, DeviceArray, MemSpace};
 use crate::profile::Profiler;
 use std::collections::HashMap;
+
+/// Resolve the default host-thread count for kernel simulation:
+/// `SAGE_HOST_THREADS` when set, otherwise the machine's available
+/// parallelism, clamped to `[1, num_sms]` (one shard per SM is the finest
+/// useful partition).
+#[must_use]
+pub fn default_host_threads(num_sms: usize) -> usize {
+    let requested = std::env::var("SAGE_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    requested.clamp(1, num_sms.max(1))
+}
 
 /// One simulated GPU.
 ///
@@ -17,10 +34,11 @@ pub struct Device {
     device_alloc: Allocator,
     host_alloc: Allocator,
     l1: Vec<SectorCache>,
-    l2: SectorCache,
+    l2: SlicedCache,
     profiler: Profiler,
     elapsed_cycles: f64,
     kernel_times: HashMap<String, (u64, f64)>,
+    host_threads: usize,
 }
 
 impl Device {
@@ -31,7 +49,8 @@ impl Device {
         let l1 = (0..cfg.num_sms)
             .map(|_| SectorCache::new(cfg.l1.lines(cfg.line_bytes), cfg.l1.ways, spl))
             .collect();
-        let l2 = SectorCache::new(cfg.l2.lines(cfg.line_bytes), cfg.l2.ways, spl);
+        let l2 = SlicedCache::new(cfg.l2.lines(cfg.line_bytes), cfg.l2.ways, spl);
+        let host_threads = default_host_threads(cfg.num_sms);
         Self {
             device_alloc: Allocator::new(MemSpace::Device),
             host_alloc: Allocator::new(MemSpace::Host),
@@ -40,8 +59,23 @@ impl Device {
             profiler: Profiler::default(),
             elapsed_cycles: 0.0,
             kernel_times: HashMap::new(),
+            host_threads,
             cfg,
         }
+    }
+
+    /// Host threads kernel simulation may use (1 = sequential execution).
+    #[must_use]
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
+    /// Set the host-thread budget for kernel simulation. Clamped to
+    /// `[1, num_sms]`; 1 selects the direct sequential path, anything above
+    /// routes kernels through the SM-sharded trace/replay backend. Either
+    /// way the simulated results are bitwise identical.
+    pub fn set_host_threads(&mut self, threads: usize) {
+        self.host_threads = threads.clamp(1, self.cfg.num_sms.max(1));
     }
 
     /// A default-configured device (Quadro RTX 8000).
@@ -104,6 +138,21 @@ impl Device {
     /// Probe L2 directly (atomics resolve in L2).
     pub(crate) fn probe_l2_only(&mut self, sector: u64) -> Probe {
         self.l2.access(sector)
+    }
+
+    /// Per-SM L1 caches, for parallel per-shard replay.
+    pub(crate) fn l1_caches_mut(&mut self) -> &mut [SectorCache] {
+        &mut self.l1
+    }
+
+    /// The sliced L2, for parallel per-slice replay.
+    pub(crate) fn l2_mut(&mut self) -> &mut SlicedCache {
+        &mut self.l2
+    }
+
+    /// The sliced L2 (read-only view: slice geometry).
+    pub(crate) fn l2_ref(&self) -> &SlicedCache {
+        &self.l2
     }
 
     pub(crate) fn charge(&mut self, totals: &Profiler, cycles: f64) {

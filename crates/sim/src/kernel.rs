@@ -24,13 +24,66 @@
 //! lengthens the kernel, which is what tile stealing flattens — and finally
 //! applies the device-wide DRAM/L2/PCIe bandwidth bounds plus the fixed
 //! launch overhead.
+//!
+//! # Execution backends
+//!
+//! With [`crate::device::Device::host_threads`] at 1 every cache probe runs
+//! inline, in call order, against the shared hierarchy — the original
+//! sequential path. Above 1 the kernel switches to a **trace/replay**
+//! backend: event accounting still happens inline (it is cheap and
+//! cache-independent), but sector probes are recorded into per-SM streams
+//! stamped with a global sequence number and replayed at [`Kernel::finish`]
+//! in two parallel passes — per-SM private-L1 replay (each shard owns its
+//! SM's L1), then per-slice L2 replay in global probe order (each worker
+//! owns disjoint address-interleaved L2 slices, see
+//! [`crate::cache::SlicedCache`]). Shard counters merge in SM order, so
+//! cycles, profiler stats and cache states are bitwise identical to the
+//! sequential path.
 
-use crate::cache::Probe;
+use crate::cache::{Probe, SectorCache};
 use crate::config::DeviceConfig;
 use crate::device::Device;
 use crate::mem::is_host_addr;
 use crate::profile::Profiler;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Below this many recorded probes a traced kernel replays on the calling
+/// thread: spawning shard workers costs more than the replay itself.
+const PARALLEL_REPLAY_GATE: usize = 8_192;
+
+/// One recorded sector probe: `seq` is its position in the kernel's global
+/// probe order, `atomic` routes it straight to L2.
+#[derive(Debug, Clone, Copy)]
+struct TraceOp {
+    seq: u64,
+    sector: u64,
+    atomic: bool,
+}
+
+/// A probe that missed (or bypassed) L1 and is bound for an L2 slice.
+#[derive(Debug, Clone, Copy)]
+struct L2Probe {
+    seq: u64,
+    sector: u64,
+    sm: u32,
+}
+
+/// Recorded per-SM probe streams for deferred parallel replay.
+#[derive(Debug)]
+struct TraceBuf {
+    per_sm: Vec<Vec<TraceOp>>,
+    seq: u64,
+    threads: usize,
+}
+
+/// Per-SM result of the L1 replay pass: the hit count plus the surviving
+/// probes bucketed by owning L2 slice.
+#[derive(Debug, Default)]
+struct ShardReplay {
+    l1_hits: u64,
+    slice_probes: Vec<Vec<L2Probe>>,
+}
 
 /// What a memory access does; writes also produce sector traffic
 /// (write-allocate) and are tracked separately for the profiler.
@@ -78,6 +131,10 @@ pub struct KernelReport {
     pub dram_bytes: u64,
     /// PCIe bytes the kernel moved (zero unless out-of-core).
     pub pcie_bytes: u64,
+    /// Host wall-clock seconds between launch and finish.
+    pub host_seconds: f64,
+    /// Host threads the simulation was allowed to use (1 = sequential).
+    pub host_threads: usize,
 }
 
 impl KernelReport {
@@ -102,12 +159,20 @@ pub struct Kernel<'d> {
     scratch_sectors: Vec<u64>,
     host_bytes: u64,
     host_requests: u64,
+    trace: Option<TraceBuf>,
+    started: Instant,
 }
 
 impl<'d> Kernel<'d> {
     pub(crate) fn new(dev: &'d mut Device, name: &str) -> Self {
         let sms = dev.cfg().num_sms;
         let concurrency = dev.cfg().max_resident_warps as f64;
+        let threads = dev.host_threads();
+        let trace = (threads > 1).then(|| TraceBuf {
+            per_sm: vec![Vec::new(); sms],
+            seq: 0,
+            threads,
+        });
         Self {
             dev,
             name: name.to_owned(),
@@ -116,7 +181,16 @@ impl<'d> Kernel<'d> {
             scratch_sectors: Vec::with_capacity(64),
             host_bytes: 0,
             host_requests: 0,
+            trace,
+            started: Instant::now(),
         }
+    }
+
+    /// Bind this kernel to one SM, yielding a shard handle whose accessors
+    /// drop the repeated `sm` argument — the form engine helpers take.
+    pub fn shard(&mut self, sm: usize) -> SmShard<'_, 'd> {
+        let sm = sm % self.per_sm.len();
+        SmShard { k: self, sm }
     }
 
     /// Device configuration shortcut.
@@ -213,15 +287,24 @@ impl<'d> Kernel<'d> {
             *prev_host_sector = s;
             return;
         }
+        if is_write {
+            self.per_sm[sm].write_sectors += 1;
+        }
+        if let Some(t) = &mut self.trace {
+            t.per_sm[sm].push(TraceOp {
+                seq: t.seq,
+                sector: s,
+                atomic: false,
+            });
+            t.seq += 1;
+            return;
+        }
         let outcome = self.dev.probe_memory(sm, s);
         let c = &mut self.per_sm[sm];
         match outcome {
             (Probe::Hit, _) => c.l1_hits += 1,
             (_, Some(Probe::Hit)) => c.l2_hits += 1,
             _ => c.dram_sectors += 1,
-        }
-        if is_write {
-            c.write_sectors += 1;
         }
     }
 
@@ -322,6 +405,15 @@ impl<'d> Kernel<'d> {
         self.scratch_sectors.dedup();
         for i in 0..self.scratch_sectors.len() {
             let s = self.scratch_sectors[i];
+            if let Some(t) = &mut self.trace {
+                t.per_sm[sm].push(TraceOp {
+                    seq: t.seq,
+                    sector: s,
+                    atomic: true,
+                });
+                t.seq += 1;
+                continue;
+            }
             let outcome = self.dev.probe_l2_only(s);
             let c = &mut self.per_sm[sm];
             match outcome {
@@ -358,7 +450,11 @@ impl<'d> Kernel<'d> {
 
     /// Convert accumulated events into time, charge the device clock and
     /// profiler, and return the report.
-    pub fn finish(self) -> KernelReport {
+    pub fn finish(mut self) -> KernelReport {
+        let host_threads = self.trace.as_ref().map_or(1, |t| t.threads);
+        if let Some(trace) = self.trace.take() {
+            replay_trace(self.dev, trace, &mut self.per_sm);
+        }
         let cfg = self.dev.cfg().clone();
         let mut totals = Profiler {
             kernels: 1,
@@ -445,6 +541,197 @@ impl<'d> Kernel<'d> {
             active_sms,
             dram_bytes,
             pcie_bytes: self.host_bytes,
+            host_seconds: self.started.elapsed().as_secs_f64(),
+            host_threads,
+        }
+    }
+}
+
+/// One SM's view of an in-flight kernel: every accessor charges the bound
+/// SM, so helpers shared between engines take a single `&mut SmShard`
+/// instead of threading a `(&mut Kernel, sm)` pair through every call.
+pub struct SmShard<'k, 'd> {
+    k: &'k mut Kernel<'d>,
+    sm: usize,
+}
+
+impl<'d> SmShard<'_, 'd> {
+    /// The SM this shard charges.
+    #[must_use]
+    pub fn sm(&self) -> usize {
+        self.sm
+    }
+
+    /// Device configuration shortcut.
+    #[must_use]
+    pub fn cfg(&self) -> &DeviceConfig {
+        self.k.cfg()
+    }
+
+    /// Issue warp instructions on this shard's SM ([`Kernel::exec`]).
+    pub fn exec(&mut self, warp_insts: u64, active: usize, width: usize) {
+        self.k.exec(self.sm, warp_insts, active, width);
+    }
+
+    /// Issue fully-converged instructions ([`Kernel::exec_uniform`]).
+    pub fn exec_uniform(&mut self, warp_insts: u64) {
+        self.k.exec_uniform(self.sm, warp_insts);
+    }
+
+    /// A warp/tile-wide memory access ([`Kernel::access`]).
+    pub fn access(&mut self, kind: AccessKind, addrs: &[u64], elem_bytes: usize) {
+        self.k.access(self.sm, kind, addrs, elem_bytes);
+    }
+
+    /// A coalesced contiguous access ([`Kernel::access_range`]).
+    pub fn access_range(&mut self, kind: AccessKind, base: u64, count: u64, elem_bytes: usize) {
+        self.k.access_range(self.sm, kind, base, count, elem_bytes);
+    }
+
+    /// Atomic read-modify-writes by the lanes ([`Kernel::atomic`]).
+    pub fn atomic(&mut self, addrs: &mut [u64]) {
+        self.k.atomic(self.sm, addrs);
+    }
+
+    /// A block-wide barrier ([`Kernel::sync`]).
+    pub fn sync(&mut self) {
+        self.k.sync(self.sm);
+    }
+
+    /// The underlying kernel, for cross-SM operations.
+    pub fn kernel(&mut self) -> &mut Kernel<'d> {
+        self.k
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal size
+/// (ownership partition for shard workers; deterministic by construction).
+fn chunk_len(total: usize, parts: usize) -> usize {
+    total.div_ceil(parts.max(1)).max(1)
+}
+
+/// Replay a traced kernel's probe streams against the cache hierarchy and
+/// fill the deferred `l1_hits` / `l2_hits` / `dram_sectors` counters.
+///
+/// Pass 1 replays each SM's stream against that SM's private L1 — per-SM
+/// program order is exactly the sequential probe order projected onto one
+/// SM, and L1 outcomes depend on nothing else. Misses (plus atomics, which
+/// bypass L1) are bucketed by owning L2 slice. Pass 2 replays each slice's
+/// probes in global sequence order — per-set LRU state only depends on the
+/// relative order of that set's probes, so the sliced replay reproduces the
+/// monolithic outcome probe for probe. Both passes run on `threads` scoped
+/// workers over disjoint cache shards; small kernels stay on the calling
+/// thread. Counter merging is fixed-order u64 sums, so the result is
+/// independent of thread scheduling.
+fn replay_trace(dev: &mut Device, trace: TraceBuf, per_sm: &mut [SmCounters]) {
+    let num_slices = dev.l2_ref().num_slices();
+    let spl = u64::from(dev.cfg().sectors_per_line() as u32);
+    let total_ops: usize = trace.per_sm.iter().map(Vec::len).sum();
+    if total_ops == 0 {
+        return;
+    }
+    let slice_of = |sector: u64| ((sector / spl) % num_slices as u64) as usize;
+    let workers = trace.threads.min(trace.per_sm.len()).max(1);
+    let parallel = workers > 1 && total_ops >= PARALLEL_REPLAY_GATE;
+
+    // ---- pass 1: private L1 replay, one shard per SM ----
+    let sms = trace.per_sm.len();
+    let mut shards: Vec<ShardReplay> = (0..sms)
+        .map(|_| ShardReplay {
+            l1_hits: 0,
+            slice_probes: vec![Vec::new(); num_slices],
+        })
+        .collect();
+    let l1 = dev.l1_caches_mut();
+    let replay_one =
+        |cache: &mut SectorCache, sm: usize, ops: &[TraceOp], out: &mut ShardReplay| {
+            for op in ops {
+                if !op.atomic && cache.access(op.sector) == Probe::Hit {
+                    out.l1_hits += 1;
+                    continue;
+                }
+                out.slice_probes[slice_of(op.sector)].push(L2Probe {
+                    seq: op.seq,
+                    sector: op.sector,
+                    sm: sm as u32,
+                });
+            }
+        };
+    if parallel {
+        let chunk = chunk_len(sms, workers);
+        std::thread::scope(|scope| {
+            for (ci, ((l1_chunk, ops_chunk), out_chunk)) in l1
+                .chunks_mut(chunk)
+                .zip(trace.per_sm.chunks(chunk))
+                .zip(shards.chunks_mut(chunk))
+                .enumerate()
+            {
+                scope.spawn(move || {
+                    for (i, cache) in l1_chunk.iter_mut().enumerate() {
+                        replay_one(cache, ci * chunk + i, &ops_chunk[i], &mut out_chunk[i]);
+                    }
+                });
+            }
+        });
+    } else {
+        for (sm, cache) in l1.iter_mut().enumerate() {
+            replay_one(cache, sm, &trace.per_sm[sm], &mut shards[sm]);
+        }
+    }
+
+    // ---- pass 2: L2 replay, one worker chunk per group of slices ----
+    // Each slice gathers its probes from every shard, restores global probe
+    // order by the sequence stamp (unique, so the sort is a permutation with
+    // one fixed point set), and replays into its private slice cache.
+    let l2 = dev.l2_mut();
+    let mut slice_counts: Vec<Vec<(u64, u64)>> = vec![vec![(0, 0); sms]; num_slices];
+    let shards_ref = &shards;
+    let replay_slice = |cache: &mut SectorCache, slice: usize, counts: &mut Vec<(u64, u64)>| {
+        let mut probes: Vec<L2Probe> = shards_ref
+            .iter()
+            .flat_map(|s| s.slice_probes[slice].iter().copied())
+            .collect();
+        probes.sort_unstable_by_key(|p| p.seq);
+        let k = num_slices as u64;
+        for p in probes {
+            let line = p.sector / spl;
+            let local = (line / k) * spl + p.sector % spl;
+            let c = &mut counts[p.sm as usize];
+            if cache.access(local) == Probe::Hit {
+                c.0 += 1;
+            } else {
+                c.1 += 1;
+            }
+        }
+    };
+    let slices = l2.slices_mut();
+    if parallel {
+        let chunk = chunk_len(num_slices, workers);
+        std::thread::scope(|scope| {
+            for (ci, (slice_chunk, count_chunk)) in slices
+                .chunks_mut(chunk)
+                .zip(slice_counts.chunks_mut(chunk))
+                .enumerate()
+            {
+                scope.spawn(move || {
+                    for (i, cache) in slice_chunk.iter_mut().enumerate() {
+                        replay_slice(cache, ci * chunk + i, &mut count_chunk[i]);
+                    }
+                });
+            }
+        });
+    } else {
+        for (slice, cache) in slices.iter_mut().enumerate() {
+            replay_slice(cache, slice, &mut slice_counts[slice]);
+        }
+    }
+
+    // ---- pass 3: merge in fixed SM-major order ----
+    for (sm, c) in per_sm.iter_mut().enumerate() {
+        c.l1_hits += shards[sm].l1_hits;
+        for counts in &slice_counts {
+            c.l2_hits += counts[sm].0;
+            c.dram_sectors += counts[sm].1;
         }
     }
 }
@@ -678,6 +965,116 @@ mod tests {
         let mut k = d.launch("wr_range");
         k.access_range(0, AccessKind::Write, 4096, 64, 4);
         let _ = k.finish();
+        assert!(d.profiler().write_sectors > 0);
+    }
+
+    /// Drive a mixed workload (scattered reads, ranged writes, atomics,
+    /// repeated warm accesses across several SMs) and return every counter
+    /// the simulation produces, cycles included, as exact bit patterns.
+    fn mixed_workload(threads: usize) -> (Vec<u64>, u64, u64, u64) {
+        let mut d = dev();
+        d.set_host_threads(threads);
+        let sms = d.cfg().num_sms;
+        for round in 0..3u64 {
+            let mut k = d.launch("mixed");
+            for sm in 0..sms {
+                let addrs: Vec<u64> = (0..16)
+                    .map(|i| 4096 + ((i * 2654435761u64 + sm as u64 * 97 + round * 13) % 4096))
+                    .collect();
+                k.access(sm, AccessKind::Read, &addrs, 4);
+                k.access_range(sm, AccessKind::Write, 65536 + sm as u64 * 512, 200, 4);
+                let mut at: Vec<u64> = (0..8).map(|i| 128 * ((i * 7 + sm as u64) % 5)).collect();
+                k.atomic(sm, &mut at);
+                // re-touch the same addresses: exercises warm L1/L2 state
+                k.access(sm, AccessKind::Read, &addrs, 4);
+                k.sync(sm);
+            }
+            let _ = k.finish();
+        }
+        let p = d.profiler();
+        let counters = vec![
+            p.warp_insts.to_bits(),
+            p.active_lanes.to_bits(),
+            p.lane_slots.to_bits(),
+            p.mem_requests,
+            p.l1_hit_sectors,
+            p.l2_hit_sectors,
+            p.dram_sectors,
+            p.write_sectors,
+            p.atomics,
+            p.atomic_conflicts,
+            p.syncs,
+            p.cycles.to_bits(),
+            d.elapsed_cycles().to_bits(),
+        ];
+        let (l2h, l2sm, l2lm) = d.l2_stats();
+        (counters, l2h, l2sm, l2lm)
+    }
+
+    #[test]
+    fn traced_replay_is_bitwise_identical_to_direct_path() {
+        let direct = mixed_workload(1);
+        for threads in [2, 3, 4] {
+            assert_eq!(
+                direct,
+                mixed_workload(threads),
+                "threads={threads} diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_replay_handles_host_memory_identically() {
+        let run = |threads: usize| {
+            let mut d = dev();
+            d.set_host_threads(threads);
+            let mut h = crate::mem::Allocator::new(MemSpace::Host);
+            let base = h.alloc(1 << 16);
+            let mut k = d.launch("ooc");
+            k.access_range(0, AccessKind::Read, base, 512, 4);
+            k.access(1, AccessKind::Read, &[4096, base + 32], 4);
+            let r = k.finish();
+            (
+                r.cycles.to_bits(),
+                r.pcie_bytes,
+                d.profiler().pcie_requests,
+                d.profiler().total_sectors(),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn kernel_report_carries_host_thread_budget() {
+        let mut d = dev();
+        d.set_host_threads(3);
+        let mut k = d.launch("budget");
+        k.exec_uniform(0, 10);
+        let r = k.finish();
+        assert_eq!(r.host_threads, 3);
+        assert!(r.host_seconds >= 0.0);
+        d.set_host_threads(1);
+        let r = d.launch("seq").finish();
+        assert_eq!(r.host_threads, 1);
+    }
+
+    #[test]
+    fn shard_handle_charges_its_bound_sm() {
+        let mut d = dev();
+        let mut k = d.launch("shard");
+        {
+            let mut sh = k.shard(2);
+            assert_eq!(sh.sm(), 2);
+            sh.exec_uniform(5);
+            sh.access(AccessKind::Read, &[4096], 4);
+            sh.access_range(AccessKind::Write, 8192, 32, 4);
+            let mut at = vec![64u64, 64];
+            sh.atomic(&mut at);
+            sh.sync();
+        }
+        let r = k.finish();
+        assert_eq!(r.active_sms, 1);
+        assert_eq!(d.profiler().syncs, 1);
         assert!(d.profiler().write_sectors > 0);
     }
 

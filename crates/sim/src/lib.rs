@@ -50,12 +50,12 @@ pub mod pcie;
 pub mod profile;
 pub mod tile;
 
-pub use cache::{Probe, SectorCache};
+pub use cache::{Probe, SectorCache, SlicedCache};
 pub use config::{CacheConfig, CpuConfig, DeviceConfig, PcieConfig, PeerLinkConfig};
 pub use cpu::Cpu;
-pub use device::Device;
+pub use device::{default_host_threads, Device};
 pub use host::{PoolAccess, UmPool};
-pub use kernel::{AccessKind, Kernel, KernelReport};
+pub use kernel::{AccessKind, Kernel, KernelReport, SmShard};
 pub use mem::{Allocator, DeviceArray, MemSpace};
 pub use multi::{device_pool, DeviceGroup};
 pub use profile::Profiler;

@@ -12,7 +12,7 @@
 //! depth `log2(w)` and one block barrier.
 
 use crate::config::DeviceConfig;
-use crate::kernel::Kernel;
+use crate::kernel::SmShard;
 
 /// A cooperative thread group of `size` threads (power of two).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,56 +61,53 @@ impl Tile {
     }
 }
 
-/// Charge one `any`/`all`/`elect` vote over the tile to `sm`; returns the
-/// warp instructions charged (for overhead accounting).
-pub fn charge_vote(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
-    let w = tile.warps(k.cfg());
-    let cfg_vote = k.cfg().vote_cycles;
+/// Charge one `any`/`all`/`elect` vote over the tile to the shard's SM;
+/// returns the warp instructions charged (for overhead accounting).
+pub fn charge_vote(sh: &mut SmShard<'_, '_>, tile: Tile) -> u64 {
+    let w = tile.warps(sh.cfg());
+    let cfg_vote = sh.cfg().vote_cycles;
     // each warp ballots, then a log-depth combine for multi-warp tiles
     let insts = w as u64 * cfg_vote + (w as u64).next_power_of_two().trailing_zeros() as u64;
-    k.exec(
-        sm,
+    sh.exec(
         insts,
-        tile.size().min(k.cfg().warp_size),
-        k.cfg().warp_size,
+        tile.size().min(sh.cfg().warp_size),
+        sh.cfg().warp_size,
     );
     if w > 1 {
-        k.sync(sm);
+        sh.sync();
     }
     insts
 }
 
-/// Charge one `shfl` broadcast over the tile to `sm`; returns the warp
-/// instructions charged.
-pub fn charge_shfl(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
-    let w = tile.warps(k.cfg());
-    let insts = w as u64 * k.cfg().shuffle_cycles;
-    k.exec(
-        sm,
+/// Charge one `shfl` broadcast over the tile to the shard's SM; returns the
+/// warp instructions charged.
+pub fn charge_shfl(sh: &mut SmShard<'_, '_>, tile: Tile) -> u64 {
+    let w = tile.warps(sh.cfg());
+    let insts = w as u64 * sh.cfg().shuffle_cycles;
+    sh.exec(
         insts,
-        tile.size().min(k.cfg().warp_size),
-        k.cfg().warp_size,
+        tile.size().min(sh.cfg().warp_size),
+        sh.cfg().warp_size,
     );
     if w > 1 {
-        k.sync(sm);
+        sh.sync();
     }
     insts
 }
 
-/// Charge a `cg::partition` of the tile to `sm` (index recomputation plus a
-/// releasing barrier for multi-warp groups); returns the warp instructions
-/// charged.
-pub fn charge_partition(k: &mut Kernel<'_>, sm: usize, tile: Tile) -> u64 {
-    let w = tile.warps(k.cfg());
+/// Charge a `cg::partition` of the tile to the shard's SM (index
+/// recomputation plus a releasing barrier for multi-warp groups); returns
+/// the warp instructions charged.
+pub fn charge_partition(sh: &mut SmShard<'_, '_>, tile: Tile) -> u64 {
+    let w = tile.warps(sh.cfg());
     let insts = 2 + w as u64;
-    k.exec(
-        sm,
+    sh.exec(
         insts,
-        tile.size().min(k.cfg().warp_size),
-        k.cfg().warp_size,
+        tile.size().min(sh.cfg().warp_size),
+        sh.cfg().warp_size,
     );
     if w > 1 {
-        k.sync(sm);
+        sh.sync();
     }
     insts
 }
@@ -178,7 +175,7 @@ mod tests {
     fn multi_warp_votes_cost_more_and_sync() {
         let mut d = Device::new(DeviceConfig::test_tiny()); // warp = 8
         let mut k = d.launch("votes");
-        let single_insts_ret = charge_vote(&mut k, 0, Tile::new(8)); // single warp
+        let single_insts_ret = charge_vote(&mut k.shard(0), Tile::new(8)); // single warp
         assert!(single_insts_ret > 0);
         let _ = k.finish();
         let single_syncs = d.profiler().syncs;
@@ -186,7 +183,7 @@ mod tests {
 
         let mut d2 = Device::new(DeviceConfig::test_tiny());
         let mut k = d2.launch("votes");
-        let multi = charge_vote(&mut k, 0, Tile::new(64)); // 8 warps
+        let multi = charge_vote(&mut k.shard(0), Tile::new(64)); // 8 warps
         assert!(multi > single_insts_ret);
         let _ = k.finish();
         assert!(d2.profiler().syncs > single_syncs);
@@ -197,8 +194,8 @@ mod tests {
     fn shfl_and_partition_charge_instructions() {
         let mut d = Device::new(DeviceConfig::test_tiny());
         let mut k = d.launch("ops");
-        charge_shfl(&mut k, 0, Tile::new(8));
-        charge_partition(&mut k, 0, Tile::new(16));
+        charge_shfl(&mut k.shard(0), Tile::new(8));
+        charge_partition(&mut k.shard(0), Tile::new(16));
         let _ = k.finish();
         assert!(d.profiler().warp_insts > 0.0);
     }
