@@ -12,6 +12,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== rustdoc (no broken intra-doc links) =="
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q
+
+echo "== race sanitizer: all engines hazard-free, bitwise cost-neutral =="
+# full matrix (7 engines x BFS/CC/PR x push/adaptive x 1 and 4 host
+# threads, sanitize on == sanitize off bit for bit) lives in the test
+cargo test --release -q -p sage --test sanitize
+# CLI-level smoke: SAGE_SANITIZE=1 must leave the exit code at 0 (any
+# detected hazard makes sage_cli exit 1)
+for eng in sage sage-tp naive b40c tigr gunrock; do
+  for app in bfs cc pr; do
+    for t in 1 4; do
+      SAGE_SANITIZE=1 cargo run --release -q -p sage-bench --bin sage_cli -- \
+        "$app" --dataset brain --scale 0.05 --engine "$eng" --threads "$t" > /dev/null
+    done
+  done
+done
+for app in bfs cc pr; do
+  SAGE_SANITIZE=1 cargo run --release -q -p sage-bench --bin sage_cli -- \
+    "$app" --dataset brain --scale 0.05 --engine subway --out-of-core --threads 4 > /dev/null
+done
+
 echo "== determinism (release): parallel simulation == sequential, bit for bit =="
 cargo test --release -q -p sage --test prop_determinism
 cargo test --release -q -p gpu-sim kernel::

@@ -8,8 +8,6 @@
 //! no HTML reports — just honest timings so `cargo bench` stays useful
 //! without network access.
 
-#![warn(clippy::all)]
-
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -178,6 +176,7 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark target registered in this group.
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $(

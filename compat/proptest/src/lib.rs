@@ -12,8 +12,6 @@
 //! not implemented — failures report the assertion message of the first
 //! failing case instead of a minimised input.
 
-#![warn(clippy::all)]
-
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;

@@ -8,8 +8,6 @@
 //! SplitMix64 — high-quality, fast, and fully reproducible, which is all the
 //! simulator and the synthetic-graph generators need.
 
-#![warn(clippy::all)]
-
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.

@@ -3,7 +3,7 @@
 //! ```text
 //! sage_cli <app> [--graph FILE | --dataset NAME] [--engine NAME]
 //!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
-//!          [--push-only] [--threads N]
+//!          [--push-only] [--threads N] [--sanitize]
 //!
 //!   app       bfs | bc | pr | cc | sssp | mis | kcore | serve
 //!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
@@ -20,6 +20,11 @@
 //!             available cores; always clamped to the device's SM count.
 //!             1 = the sequential reference path (results are bitwise
 //!             identical either way).
+//!   --sanitize run the simulated kernels under the race sanitizer; any
+//!             detected cross-SM hazard is printed and makes the process
+//!             exit 1. Sanitized runs report bitwise-identical cycles and
+//!             cache counters. The SAGE_SANITIZE environment variable is an
+//!             equivalent switch (0/false/off/no disables).
 //!
 //! serve mode (concurrent query service over a device pool):
 //!   sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]
@@ -54,6 +59,7 @@ struct Args {
     profile: bool,
     push_only: bool,
     threads: Option<usize>,
+    sanitize: bool,
     devices: usize,
     requests: usize,
 }
@@ -62,8 +68,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: sage_cli <bfs|bc|pr|cc|sssp|mis|kcore> [--graph FILE | --dataset NAME] \
          [--engine sage|sage-tp|naive|b40c|tigr|gunrock|ligra] [--source N] \
-         [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only] [--threads N]\n\
-         \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]"
+         [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only] [--threads N] \
+         [--sanitize]\n\
+         \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N] \
+         [--sanitize]"
     );
     exit(2)
 }
@@ -87,6 +95,7 @@ fn parse_args() -> Args {
         profile: false,
         push_only: false,
         threads: None,
+        sanitize: false,
         devices: 2,
         requests: 64,
     };
@@ -110,6 +119,7 @@ fn parse_args() -> Args {
             "--threads" => {
                 args.threads = Some(value("--threads").parse().unwrap_or_else(|_| usage()));
             }
+            "--sanitize" => args.sanitize = true,
             "--devices" => args.devices = value("--devices").parse().unwrap_or_else(|_| usage()),
             "--requests" => {
                 args.requests = value("--requests").parse().unwrap_or_else(|_| usage());
@@ -179,6 +189,7 @@ fn serve_mode(args: &Args, csr: Csr) {
     let cfg = ServiceConfig {
         devices: args.devices.max(1),
         queue_capacity: args.requests.max(64) * 2,
+        sanitize: args.sanitize,
         ..ServiceConfig::default()
     };
     println!(
@@ -247,7 +258,12 @@ fn serve_mode(args: &Args, csr: Csr) {
         }
     }
     run_round("warm");
+    let hazards = service.stats().hazards;
     service.shutdown();
+    if hazards > 0 {
+        eprintln!("sanitizer: {hazards} hazards detected across the device pool");
+        exit(1);
+    }
 }
 
 fn main() {
@@ -279,6 +295,11 @@ fn main() {
         // CLI beats SAGE_HOST_THREADS, which beat the all-cores default when
         // the device was built; the setter clamps to [1, num_sms].
         dev.set_host_threads(t);
+    }
+    if args.sanitize {
+        // the flag only ever turns the sanitizer on; SAGE_SANITIZE=0 without
+        // --sanitize stays off
+        dev.set_sanitize(true);
     }
     let mut engine: Box<dyn Engine> = if args.out_of_core && args.engine == "subway" {
         Box::new(SubwayEngine::new(&mut dev, csr.num_edges()))
@@ -327,5 +348,12 @@ fn main() {
                 secs * 1e3
             );
         }
+    }
+    if !dev.hazards().is_empty() {
+        eprintln!("\nsanitizer: {} hazards detected", dev.hazard_count());
+        for h in dev.hazards() {
+            eprintln!("  {h}");
+        }
+        exit(1);
     }
 }

@@ -19,9 +19,6 @@
 //! `SAGE_SOURCES` (sources averaged per measurement, default 3),
 //! `SAGE_ROUNDS` (self-reordering rounds for the "SAGE_N" bars, default 30).
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod experiments;
 pub mod harness;
 pub mod table;

@@ -19,6 +19,7 @@ pub const STATE_ELEM_BYTES: usize = 4;
 pub struct AccessRecorder {
     reads: Vec<u64>,
     writes: Vec<u64>,
+    dirty: Vec<u64>,
     atomics: Vec<u64>,
 }
 
@@ -41,6 +42,15 @@ impl AccessRecorder {
         self.writes.push(addr);
     }
 
+    /// Record a 4-byte *dirty write* to `addr`: a store the application
+    /// asserts is a benign race by construction (same-value or monotone —
+    /// the paper's §7.2 "dirty write" idiom). Costs exactly like
+    /// [`AccessRecorder::write`] but is exempt from the race sanitizer.
+    #[inline]
+    pub fn write_dirty(&mut self, addr: u64) {
+        self.dirty.push(addr);
+    }
+
     /// Record a 4-byte atomic read-modify-write at `addr`.
     #[inline]
     pub fn atomic(&mut self, addr: u64) {
@@ -50,7 +60,7 @@ impl AccessRecorder {
     /// Number of recorded events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.reads.len() + self.writes.len() + self.atomics.len()
+        self.reads.len() + self.writes.len() + self.dirty.len() + self.atomics.len()
     }
 
     /// True when nothing is recorded.
@@ -69,6 +79,7 @@ impl AccessRecorder {
     pub fn clear(&mut self) {
         self.reads.clear();
         self.writes.clear();
+        self.dirty.clear();
         self.atomics.clear();
     }
 
@@ -82,11 +93,11 @@ impl AccessRecorder {
         for chunk in self.writes.chunks(warp) {
             sh.access(AccessKind::Write, chunk, STATE_ELEM_BYTES);
         }
-        let mut scratch: Vec<u64> = Vec::new();
-        for chunk in self.atomics.chunks_mut(warp) {
-            scratch.clear();
-            scratch.extend_from_slice(chunk);
-            sh.atomic(&mut scratch);
+        for chunk in self.dirty.chunks(warp) {
+            sh.access_dirty(chunk, STATE_ELEM_BYTES);
+        }
+        for chunk in self.atomics.chunks(warp) {
+            sh.atomic(chunk);
         }
         self.clear();
     }

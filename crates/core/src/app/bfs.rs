@@ -55,7 +55,8 @@ impl App for Bfs {
         rec.read(self.dist.addr(neighbor as usize));
         if self.dist[neighbor as usize] == -1 {
             self.dist[neighbor as usize] = self.level + 1;
-            rec.write(self.dist.addr(neighbor as usize));
+            // every racing parent stores the same level — §7.2 dirty write
+            rec.write_dirty(self.dist.addr(neighbor as usize));
             true
         } else {
             false
@@ -88,7 +89,7 @@ impl App for Bfs {
     ) -> PullStep {
         // any frontier parent gives the same distance — claim on the first
         self.dist[node as usize] = self.level + 1;
-        rec.write(self.dist.addr(node as usize));
+        rec.write_dirty(self.dist.addr(node as usize));
         PullStep::Claim
     }
 }

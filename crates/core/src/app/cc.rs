@@ -82,9 +82,11 @@ impl App for Cc {
         let v = in_neighbor as usize;
         rec.read(self.label.addr(v));
         if self.label[v] < self.label[u] {
-            // plain min — this lane owns `node`, no atomic needed
+            // plain min — this lane owns `node`, but other SMs may read
+            // label[u] as an in-neighbor concurrently; the monotone min
+            // converges either way (§7.2 dirty write)
             self.label[u] = self.label[v];
-            rec.write(self.label.addr(u));
+            rec.write_dirty(self.label.addr(u));
             PullStep::Update
         } else {
             PullStep::Skip

@@ -134,7 +134,8 @@ impl App for Mis {
                     );
                     if pf > pn || (pf == pn && frontier > neighbor) {
                         self.beaten[n] = 1;
-                        rec.write(self.beaten.addr(n));
+                        // racing contestants all store 1 — §7.2 dirty write
+                        rec.write_dirty(self.beaten.addr(n));
                     }
                 }
                 false

@@ -374,6 +374,9 @@ pub fn charge_bitmap_build(k: &mut Kernel<'_>, fr: &BitFrontier, queue_base: u64
             8,
         );
     }
+    // the memset must complete before any bit is set — a grid-wide barrier
+    // (separate kernel in real Gunrock/Enterprise code)
+    k.grid_sync();
     // queue reads + scattered word writes
     let mut addrs: Vec<u64> = Vec::with_capacity(warp);
     let members = fr.to_vec();
@@ -389,8 +392,12 @@ pub fn charge_bitmap_build(k: &mut Kernel<'_>, fr: &BitFrontier, queue_base: u64
         for &u in chunk {
             addrs.push(fr.word_addr(u));
         }
-        k.access(sm, AccessKind::Write, &addrs, 8);
+        // atomicOr-equivalent bit set: chunks on different SMs may land in
+        // the same 64-bit word, a benign idempotent race — dirty write
+        k.access_dirty(sm, &addrs, 8);
     }
+    // bits must be visible before the pull scan / contraction that follows
+    k.grid_sync();
 }
 
 #[cfg(test)]

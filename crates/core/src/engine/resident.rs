@@ -50,6 +50,10 @@ pub struct ResidentEngine {
     /// Device region holding the records (addresses only).
     records_base: u64,
     records_cursor: u64,
+    /// One past the last address of the reserved record region; the bump
+    /// cursor must never cross it, or record writes would alias later
+    /// allocations.
+    records_end: u64,
     record_addr: Vec<u64>,
     /// Optional Sampling-based Reordering observer.
     pub sampler: Option<Sampler>,
@@ -72,6 +76,7 @@ impl ResidentEngine {
             records: Vec::new(),
             records_base: 0,
             records_cursor: 0,
+            records_end: 0,
             record_addr: Vec::new(),
             sampler: None,
         }
@@ -123,16 +128,26 @@ impl ResidentEngine {
         recs.into_boxed_slice()
     }
 
-    fn ensure_capacity(&mut self, dev: &mut Device, n: usize) {
+    fn ensure_capacity(&mut self, dev: &mut Device, n: usize, edges: usize) {
         if self.records.len() < n {
             self.records.resize(n, None);
             self.record_addr.resize(n, 0);
         }
-        if self.records_base == 0 {
-            // reserve a device region for the resident-tile context
-            let region = dev.alloc_array::<u64>(1, 0);
+        let need = edges.max(1) as u64 * 8;
+        if self.records_base == 0 || self.records_end - self.records_base < need {
+            // Reserve the resident-tile record region at its worst-case
+            // size: every record spans at least one edge, so `edges` u64
+            // slots bound the bump cursor. Undersizing this region would
+            // let record writes alias arrays allocated later (the race
+            // sanitizer flags exactly that on the serving path, where app
+            // state is allocated per query after the engine's first run).
+            // A larger graph on a reused engine re-reserves; the old region
+            // is abandoned (the simulator's bump allocator never frees).
+            self.records.iter_mut().for_each(|r| *r = None);
+            let region = dev.alloc_array::<u64>(edges.max(1), 0);
             self.records_base = region.base();
             self.records_cursor = region.base();
+            self.records_end = region.base() + region.len() as u64 * 8;
         }
     }
 }
@@ -153,7 +168,7 @@ impl Engine for ResidentEngine {
         let mut out = IterationOutput::default();
         let mut rec = AccessRecorder::new();
         let mut scratch: Vec<u64> = Vec::new();
-        self.ensure_capacity(dev, g.csr().num_nodes());
+        self.ensure_capacity(dev, g.csr().num_nodes(), g.csr().num_edges());
 
         // ---- kernel 1: expandTiles (Algorithm 3, lines 2-7) ----
         let expand_start = dev.elapsed_seconds();
@@ -191,6 +206,10 @@ impl Engine for ResidentEngine {
                         let bytes = recs.len() as u64 * 8;
                         self.record_addr[fi] = self.records_cursor;
                         self.records_cursor += bytes;
+                        debug_assert!(
+                            self.records_cursor <= self.records_end,
+                            "resident record region overflow"
+                        );
                         // decomposition bookkeeping + record writes
                         let w = sh.cfg().warp_size;
                         sh.exec(2 + recs.len() as u64, 1, w);

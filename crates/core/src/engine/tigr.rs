@@ -162,6 +162,9 @@ impl Engine for TigrEngine {
             for chunk in scratch.chunks(warp) {
                 k.access(0, AccessKind::Write, chunk, 4);
             }
+            // the queue build precedes the per-virtual reads below — another
+            // kernel boundary in real Tigr, modelled as a grid barrier
+            k.grid_sync();
         }
 
         // warp-per-virtual-node: uniform ≤K degrees, no divergence

@@ -31,9 +31,6 @@
 //! assert!(report.gteps() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod access;
 pub mod app;
 pub mod dgraph;

@@ -4,6 +4,7 @@
 //! (GTEPS); this module carries per-run accounting from engines to the
 //! experiment harness.
 
+use gpu_sim::HazardReport;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -79,6 +80,9 @@ pub struct RunReport {
     pub host_seconds: f64,
     /// Host threads the simulation was allowed to use (1 = sequential).
     pub host_threads: usize,
+    /// Hazards the race sanitizer attributed to this run's kernels (always
+    /// empty when sanitizing is disabled).
+    pub hazards: HazardReport,
 }
 
 impl RunReport {
@@ -119,6 +123,7 @@ impl RunReport {
         self.latency.accumulate(&other.latency);
         self.host_seconds += other.host_seconds;
         self.host_threads = self.host_threads.max(other.host_threads);
+        self.hazards.merge(&other.hazards);
     }
 }
 
@@ -146,6 +151,9 @@ impl fmt::Display for RunReport {
         if !self.converged {
             write!(f, " [truncated]")?;
         }
+        if !self.hazards.is_empty() {
+            write!(f, " [{} hazards]", self.hazards.len())?;
+        }
         Ok(())
     }
 }
@@ -168,6 +176,7 @@ mod tests {
             latency: LatencyBreakdown::default(),
             host_seconds: 0.0,
             host_threads: 1,
+            hazards: HazardReport::default(),
         }
     }
 

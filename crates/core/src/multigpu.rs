@@ -152,6 +152,7 @@ impl MultiGpuDriver {
         let cfg = self.cfg;
         let n_gpus = cfg.gpus;
         let host_start = std::time::Instant::now();
+        let hazard_start: Vec<usize> = self.devices.iter().map(Device::hazard_count).collect();
         let start = self
             .devices
             .iter()
@@ -277,6 +278,14 @@ impl MultiGpuDriver {
                 .map(Device::host_threads)
                 .max()
                 .unwrap_or(1),
+            hazards: gpu_sim::HazardReport {
+                hazards: self
+                    .devices
+                    .iter()
+                    .zip(&hazard_start)
+                    .flat_map(|(d, &from)| d.hazards()[from..].iter().cloned())
+                    .collect(),
+            },
         }
     }
 }

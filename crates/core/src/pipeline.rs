@@ -94,6 +94,7 @@ impl Runner {
     ) -> RunReport {
         let start = dev.elapsed_seconds();
         let host_start = std::time::Instant::now();
+        let hazard_start = dev.hazard_count();
         let n = g.csr().num_nodes();
         // double-buffered frontier queues (charged at contraction)
         let frontier_buf = dev.alloc_array::<u32>(n.max(1), 0);
@@ -253,6 +254,9 @@ impl Runner {
             latency: crate::metrics::LatencyBreakdown::default(),
             host_seconds: host_start.elapsed().as_secs_f64(),
             host_threads: dev.host_threads(),
+            hazards: gpu_sim::HazardReport {
+                hazards: dev.hazards()[hazard_start..].to_vec(),
+            },
         }
     }
 

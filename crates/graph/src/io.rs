@@ -9,18 +9,71 @@
 use crate::coo::Coo;
 use crate::csr::Csr;
 use crate::{EdgeIdx, NodeId};
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Magic bytes of the binary CSR format.
 pub const CSR_MAGIC: &[u8; 8] = b"SAGECSR1";
 
+/// Why a graph could not be read.
+///
+/// Malformed input is reported as a typed variant instead of a panic or a
+/// stringly `io::ErrorKind::InvalidData`, so callers can distinguish "the
+/// file is unreadable" from "the file is readable but not a graph".
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed (including truncation, surfaced as
+    /// `UnexpectedEof`).
+    Io(io::Error),
+    /// A line that is neither a comment nor a well-formed record.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending line's content.
+        content: String,
+    },
+    /// A missing or unrecognised header (binary magic, MatrixMarket banner,
+    /// dimension line, DIMACS `p` line).
+    BadHeader(String),
+    /// The input parsed but its arrays violate the CSR invariants.
+    InvalidCsr(String),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Malformed { line, content } => {
+                write!(f, "malformed record at line {line}: {content:?}")
+            }
+            Self::BadHeader(what) => write!(f, "bad header: {what}"),
+            Self::InvalidCsr(why) => write!(f, "invalid CSR arrays: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
 /// Parse an edge list from a reader.
 ///
 /// # Errors
-/// Returns an IO error or a parse error (as `InvalidData`) on malformed
-/// lines.
-pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Csr> {
+/// [`ReadError::Io`] on reader failures, [`ReadError::Malformed`] on lines
+/// that are neither comments nor `u v` pairs.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Csr, ReadError> {
     let mut coo = Coo::new(0);
     let mut max_node: i64 = -1;
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
@@ -31,7 +84,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Csr> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse = |s: Option<&str>| -> io::Result<NodeId> {
+        let parse = |s: Option<&str>| -> Result<NodeId, ReadError> {
             s.ok_or_else(|| bad_line(lineno, t))?
                 .parse::<NodeId>()
                 .map_err(|_| bad_line(lineno, t))
@@ -49,11 +102,11 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Csr> {
     Ok(Csr::from_sorted_coo(&coo))
 }
 
-fn bad_line(lineno: usize, line: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed edge at line {}: {line:?}", lineno + 1),
-    )
+fn bad_line(lineno: usize, line: &str) -> ReadError {
+    ReadError::Malformed {
+        line: lineno + 1,
+        content: line.to_string(),
+    }
 }
 
 /// Write a graph as an edge list.
@@ -73,7 +126,7 @@ pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
 ///
 /// # Errors
 /// Propagates IO and parse errors.
-pub fn load_edge_list(path: &Path) -> io::Result<Csr> {
+pub fn load_edge_list(path: &Path) -> Result<Csr, ReadError> {
     read_edge_list(std::fs::File::open(path)?)
 }
 
@@ -95,17 +148,26 @@ pub fn write_csr_binary<W: Write>(g: &Csr, writer: W) -> io::Result<()> {
     w.flush()
 }
 
+/// Upper bound on elements pre-reserved from the (untrusted) binary header.
+/// A fabricated huge count otherwise aborts the process inside
+/// `Vec::with_capacity` before a single array byte is validated; past the
+/// cap the vectors grow normally, so honest large graphs still load.
+const MAX_PREALLOC: usize = 1 << 22;
+
 /// Read a graph from the binary CSR format.
 ///
 /// # Errors
-/// Returns `InvalidData` on a bad magic, truncated input, or invariant
-/// violations in the stored arrays.
-pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
+/// [`ReadError::BadHeader`] on a wrong magic, [`ReadError::Io`] on
+/// truncated input, [`ReadError::InvalidCsr`] on invariant violations in
+/// the stored arrays.
+pub fn read_csr_binary<R: Read>(reader: R) -> Result<Csr, ReadError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != CSR_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(ReadError::BadHeader(format!(
+            "expected magic {CSR_MAGIC:?}, found {magic:?}"
+        )));
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
@@ -114,17 +176,17 @@ pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
     let m = u64::from_le_bytes(buf8) as usize;
 
     let mut buf4 = [0u8; 4];
-    let mut offsets = Vec::with_capacity(n + 1);
+    let mut offsets = Vec::with_capacity(n.saturating_add(1).min(MAX_PREALLOC));
     for _ in 0..=n {
         r.read_exact(&mut buf4)?;
         offsets.push(EdgeIdx::from_le_bytes(buf4));
     }
-    let mut targets = Vec::with_capacity(m);
+    let mut targets = Vec::with_capacity(m.min(MAX_PREALLOC));
     for _ in 0..m {
         r.read_exact(&mut buf4)?;
         targets.push(NodeId::from_le_bytes(buf4));
     }
-    Csr::from_parts(offsets, targets).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Csr::from_parts(offsets, targets).map_err(ReadError::InvalidCsr)
 }
 
 /// Parse a MatrixMarket coordinate file (`%%MatrixMarket matrix coordinate
@@ -133,17 +195,17 @@ pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
 /// `symmetric` matrices are mirrored.
 ///
 /// # Errors
-/// Returns `InvalidData` on a malformed header or entry.
-pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Csr> {
+/// [`ReadError::BadHeader`] on a missing banner or dimension line,
+/// [`ReadError::Malformed`] on a bad entry.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, ReadError> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+        .ok_or_else(|| ReadError::BadHeader("empty file".to_string()))??;
     if !header.starts_with("%%MatrixMarket matrix coordinate") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("not a MatrixMarket coordinate header: {header:?}"),
-        ));
+        return Err(ReadError::BadHeader(format!(
+            "not a MatrixMarket coordinate header: {header:?}"
+        )));
     }
     let symmetric = header.contains("symmetric");
 
@@ -157,7 +219,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Csr> {
         }
         let mut it = t.split_whitespace();
         if dims.is_none() {
-            let parse = |s: Option<&str>| -> io::Result<usize> {
+            let parse = |s: Option<&str>| -> Result<usize, ReadError> {
                 s.ok_or_else(|| bad_line(lineno, t))?
                     .parse::<usize>()
                     .map_err(|_| bad_line(lineno, t))
@@ -169,7 +231,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Csr> {
             coo.num_nodes = rows.max(cols);
             continue;
         }
-        let parse = |s: Option<&str>| -> io::Result<u64> {
+        let parse = |s: Option<&str>| -> Result<u64, ReadError> {
             s.ok_or_else(|| bad_line(lineno, t))?
                 .parse::<u64>()
                 .map_err(|_| bad_line(lineno, t))
@@ -186,10 +248,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Csr> {
         }
     }
     if dims.is_none() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "missing dimension line",
-        ));
+        return Err(ReadError::BadHeader("missing dimension line".to_string()));
     }
     coo.normalize();
     Ok(Csr::from_sorted_coo(&coo))
@@ -200,8 +259,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Csr> {
 /// ignored.
 ///
 /// # Errors
-/// Returns `InvalidData` on a malformed header or edge line.
-pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Csr> {
+/// [`ReadError::BadHeader`] on a missing `p` line,
+/// [`ReadError::Malformed`] on a bad edge line.
+pub fn read_dimacs<R: Read>(reader: R) -> Result<Csr, ReadError> {
     let mut coo: Option<Coo> = None;
     for (lineno, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
@@ -221,10 +281,10 @@ pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Csr> {
                 coo = Some(Coo::new(n));
             }
             Some("a") | Some("e") => {
-                let coo = coo.as_mut().ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "edge before p line")
-                })?;
-                let parse = |s: Option<&str>| -> io::Result<u64> {
+                let coo = coo
+                    .as_mut()
+                    .ok_or_else(|| ReadError::BadHeader("edge before p line".to_string()))?;
+                let parse = |s: Option<&str>| -> Result<u64, ReadError> {
                     s.ok_or_else(|| bad_line(lineno, t))?
                         .parse::<u64>()
                         .map_err(|_| bad_line(lineno, t))
@@ -239,8 +299,7 @@ pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Csr> {
             _ => return Err(bad_line(lineno, t)),
         }
     }
-    let mut coo =
-        coo.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing p line"))?;
+    let mut coo = coo.ok_or_else(|| ReadError::BadHeader("missing p line".to_string()))?;
     coo.normalize();
     Ok(Csr::from_sorted_coo(&coo))
 }
@@ -273,10 +332,16 @@ mod tests {
 
     #[test]
     fn edge_list_rejects_garbage() {
-        let e = read_edge_list(Cursor::new("0 x\n")).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let e = read_edge_list(Cursor::new("# ok\n0 x\n")).unwrap_err();
+        assert!(
+            matches!(&e, ReadError::Malformed { line: 2, content } if content == "0 x"),
+            "got {e:?}"
+        );
         let e = read_edge_list(Cursor::new("42\n")).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(e, ReadError::Malformed { line: 1, .. }),
+            "got {e:?}"
+        );
     }
 
     #[test]
@@ -291,7 +356,7 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let e = read_csr_binary(Cursor::new(b"NOTMAGIC".to_vec())).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(e, ReadError::BadHeader(_)), "got {e:?}");
     }
 
     #[test]
@@ -300,7 +365,8 @@ mod tests {
         let mut buf = Vec::new();
         write_csr_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_csr_binary(Cursor::new(buf)).is_err());
+        let e = read_csr_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(e, ReadError::Io(_)), "got {e:?}");
     }
 
     #[test]
@@ -311,7 +377,20 @@ mod tests {
         // corrupt a target to an out-of-range node id
         let last = buf.len() - 1;
         buf[last] = 0xFF;
-        assert!(read_csr_binary(Cursor::new(buf)).is_err());
+        let e = read_csr_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(e, ReadError::InvalidCsr(_)), "got {e:?}");
+    }
+
+    #[test]
+    fn binary_huge_header_fails_without_aborting() {
+        // a fabricated node count far beyond the payload must surface as a
+        // truncation error, not an allocation abort
+        let mut buf = Vec::new();
+        buf.extend_from_slice(CSR_MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // nodes
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // edges
+        let e = read_csr_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(e, ReadError::Io(_)), "got {e:?}");
     }
 
     #[test]

@@ -16,9 +16,6 @@
 //! * [`update`] — dynamic edge insertion (the paper's dynamic-graph
 //!   discussion in §7.2).
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod coo;
 pub mod csr;
 pub mod datasets;
@@ -38,4 +35,5 @@ pub type EdgeIdx = u32;
 
 pub use coo::Coo;
 pub use csr::Csr;
+pub use io::ReadError;
 pub use reorder::Permutation;

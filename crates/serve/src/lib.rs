@@ -35,9 +35,6 @@
 //! service.shutdown();
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod cache;
 pub mod msapp;
 mod queue;

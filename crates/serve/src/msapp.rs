@@ -127,14 +127,16 @@ impl App for MsBfs {
         // atomicOr on the masks; one write per newly reached (node, source)
         self.visited[v] |= fresh;
         rec.atomic(self.visited.addr(v));
+        // idempotent OR / same-level store: concurrent SMs may hit the same
+        // word, but every winner writes the same value (§7.2 benign race)
         self.next_mask[v] |= fresh;
-        rec.write(self.next_mask.addr(v));
+        rec.write_dirty(self.next_mask.addr(v));
         let mut bits = fresh;
         while bits != 0 {
             let j = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             self.dist[v * k + j] = self.level + 1;
-            rec.write(self.dist.addr(v * k + j));
+            rec.write_dirty(self.dist.addr(v * k + j));
         }
         true
     }
@@ -283,8 +285,9 @@ impl App for MsSssp {
         if improved == 0 {
             return false;
         }
+        // idempotent OR into the shared mask word (§7.2 benign race)
         self.next_mask[v] |= improved;
-        rec.write(self.next_mask.addr(v));
+        rec.write_dirty(self.next_mask.addr(v));
         true
     }
 

@@ -10,7 +10,7 @@
 use crate::types::{AppKind, GraphId, QueryRequest, TicketState};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Queries with equal keys may share one execution batch.
@@ -78,7 +78,17 @@ impl JobQueue {
         self.count.load(Ordering::Acquire)
     }
 
+    /// True once [`JobQueue::close`] ran (or a poisoned lock forced the
+    /// queue shut) — lets the service distinguish "shutting down" from
+    /// "over capacity" when a push bounces.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
     /// Admit a query, or hand it back when the queue is full or shut down.
+    /// A poisoned deque lock (a worker panicked mid-queue-operation) closes
+    /// the queue and refuses the query instead of propagating the panic
+    /// into the submitting thread.
     pub(crate) fn push(&self, job: PendingQuery) -> Result<(), PendingQuery> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(job);
@@ -90,7 +100,15 @@ impl JobQueue {
             return Err(job);
         }
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.deques.len();
-        self.deques[slot].lock().unwrap().push_back(job);
+        match self.deques[slot].lock() {
+            Ok(mut deque) => deque.push_back(job),
+            Err(_) => {
+                self.count.fetch_sub(1, Ordering::AcqRel);
+                self.shutdown.store(true, Ordering::Release);
+                self.signal.notify_all();
+                return Err(job);
+            }
+        }
         self.signal.notify_all();
         Ok(())
     }
@@ -112,14 +130,13 @@ impl JobQueue {
                 }
                 return None;
             }
-            let guard = self.parking.lock().unwrap();
+            // a poisoned parking lot means a peer panicked while parked;
+            // skip the park and spin through the shutdown/drain path
+            let guard = self.parking.lock().unwrap_or_else(PoisonError::into_inner);
             // re-check under the lock so a push between try_pop and park is
             // not slept through; the timeout bounds any residual race
             if self.len() == 0 && !self.shutdown.load(Ordering::Acquire) {
-                let _ = self
-                    .signal
-                    .wait_timeout(guard, Duration::from_millis(1))
-                    .unwrap();
+                let _ = self.signal.wait_timeout(guard, Duration::from_millis(1));
             }
         }
     }
@@ -143,7 +160,13 @@ impl JobQueue {
     /// Remove up to `max_batch` queries matching the key of the deque's
     /// front (or back, for steals) entry.
     fn extract(&self, slot: usize, max_batch: usize, from_back: bool) -> Option<Vec<PendingQuery>> {
-        let mut deque = self.deques[slot].lock().unwrap();
+        // Recover a poisoned deque: the panicking thread held the lock only
+        // across complete push_back/pop_front calls, so the contents are
+        // structurally intact and the remaining queries can still be served
+        // (or failed at drain) instead of wedging every worker.
+        let mut deque = self.deques[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let key = if from_back {
             deque.back()?.key()
         } else {
@@ -174,7 +197,7 @@ impl JobQueue {
     pub(crate) fn drain(&self) -> Vec<PendingQuery> {
         let mut all = Vec::new();
         for deque in &self.deques {
-            let mut deque = deque.lock().unwrap();
+            let mut deque = deque.lock().unwrap_or_else(PoisonError::into_inner);
             all.extend(deque.drain(..));
         }
         self.count.fetch_sub(all.len(), Ordering::AcqRel);
@@ -253,6 +276,26 @@ mod tests {
         q.push(job(0, AppKind::Bfs, 1)).map_err(|_| ()).unwrap();
         let batch = q.pop_batch(1, 4).unwrap();
         assert_eq!(batch.len(), 1, "worker 1 must steal worker 0's query");
+    }
+
+    #[test]
+    fn poisoned_deque_closes_queue_instead_of_panicking() {
+        let q = Arc::new(JobQueue::new(1, 8));
+        q.push(job(0, AppKind::Bfs, 1)).map_err(|_| ()).unwrap();
+        // poison the deque lock by panicking while holding it
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.deques[0].lock().unwrap();
+            panic!("poison the deque");
+        })
+        .join();
+        // pops recover the structurally-intact contents
+        let batch = q.pop_batch(0, 4).expect("queued work survives poisoning");
+        assert_eq!(batch.len(), 1);
+        // and a push refuses gracefully, closing the queue
+        assert!(q.push(job(0, AppKind::Bfs, 2)).is_err());
+        assert!(q.is_closed());
+        assert!(q.drain().is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::queue::{JobQueue, PendingQuery};
 use crate::types::{
     GraphId, QueryRequest, QueryResponse, ServiceConfig, ServiceError, Ticket, TicketState,
 };
-use crate::worker::{cache_hit_report, GraphEntry, Registry, Worker};
+use crate::worker::{cache_hit_report, GraphEntry, Registry, StatsSlots, Worker};
 use gpu_sim::{device_pool, Profiler};
 use sage::LatencyBreakdown;
 use sage_graph::Csr;
@@ -30,6 +30,9 @@ pub struct ServiceStats {
     pub cache_hit_rate: f64,
     /// Per-device profiler snapshot, as of each worker's last batch.
     pub device_profiles: Vec<Profiler>,
+    /// Total race-sanitizer hazards across all devices, as of each worker's
+    /// last batch (always 0 when sanitizing is disabled).
+    pub hazards: u64,
 }
 
 /// A running traversal-query service over a pool of simulated devices.
@@ -53,6 +56,7 @@ pub struct SageService {
     cache: Arc<ResultCache>,
     workers: Vec<JoinHandle<()>>,
     profiles: Vec<Arc<Mutex<Profiler>>>,
+    hazard_slots: Vec<Arc<AtomicU64>>,
 }
 
 impl SageService {
@@ -66,13 +70,18 @@ impl SageService {
         let queue = Arc::new(JobQueue::new(cfg.devices, cfg.queue_capacity));
         let cache = Arc::new(ResultCache::new(cfg.cache_capacity));
         let mut profiles = Vec::with_capacity(cfg.devices);
+        let mut hazard_slots = Vec::with_capacity(cfg.devices);
         let mut workers = Vec::with_capacity(cfg.devices);
-        for (id, dev) in device_pool(&cfg.device_config, cfg.devices)
+        let mut device_config = cfg.device_config.clone();
+        device_config.sanitize |= cfg.sanitize;
+        for (id, dev) in device_pool(&device_config, cfg.devices)
             .into_iter()
             .enumerate()
         {
             let slot = Arc::new(Mutex::new(Profiler::default()));
             profiles.push(Arc::clone(&slot));
+            let hazard_slot = Arc::new(AtomicU64::new(0));
+            hazard_slots.push(Arc::clone(&hazard_slot));
             let worker = Worker::new(
                 id,
                 dev,
@@ -80,7 +89,10 @@ impl SageService {
                 Arc::clone(&queue),
                 Arc::clone(&cache),
                 Arc::clone(&registry),
-                slot,
+                StatsSlots {
+                    profile: slot,
+                    hazards: hazard_slot,
+                },
             );
             workers.push(
                 std::thread::Builder::new()
@@ -96,6 +108,7 @@ impl SageService {
             cache,
             workers,
             profiles,
+            hazard_slots,
         }
     }
 
@@ -141,7 +154,8 @@ impl SageService {
     /// # Errors
     /// [`ServiceError::UnknownGraph`] / [`ServiceError::SourceOutOfRange`]
     /// for invalid requests, [`ServiceError::Overloaded`] when the admission
-    /// queue is at capacity.
+    /// queue is at capacity, [`ServiceError::ShuttingDown`] once the queue
+    /// has closed (including after a worker panic poisoned it).
     pub fn submit(&self, mut request: QueryRequest) -> Result<Ticket, ServiceError> {
         let (nodes, epoch) = {
             let registry = self.registry.read().unwrap();
@@ -183,8 +197,14 @@ impl SageService {
             ticket: Arc::clone(&state),
             enqueued_at: Instant::now(),
         };
-        self.queue.push(job).map_err(|_| ServiceError::Overloaded {
-            capacity: self.queue.capacity(),
+        self.queue.push(job).map_err(|_| {
+            if self.queue.is_closed() {
+                ServiceError::ShuttingDown
+            } else {
+                ServiceError::Overloaded {
+                    capacity: self.queue.capacity(),
+                }
+            }
         })?;
         Ok(Ticket { state })
     }
@@ -218,6 +238,11 @@ impl SageService {
                 .iter()
                 .map(|slot| slot.lock().unwrap().clone())
                 .collect(),
+            hazards: self
+                .hazard_slots
+                .iter()
+                .map(|slot| slot.load(Ordering::Acquire))
+                .sum(),
         }
     }
 

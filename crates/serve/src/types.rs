@@ -5,7 +5,7 @@ use sage::{LatencyBreakdown, RunReport};
 use sage_graph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Handle to a registered graph (index into the service's registry).
 pub type GraphId = u32;
@@ -191,7 +191,9 @@ pub(crate) struct TicketState {
 
 impl TicketState {
     pub(crate) fn fulfill(&self, outcome: Result<QueryResponse, ServiceError>) {
-        let mut slot = self.slot.lock().unwrap();
+        // A poisoned slot means the waiting side panicked; the slot itself
+        // only ever holds a whole Option, so recovery is safe.
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         *slot = Some(outcome);
         self.ready.notify_all();
     }
@@ -204,26 +206,34 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until the query completes.
-    ///
-    /// # Panics
-    /// Panics if the service dropped the ticket without fulfilling it (a
-    /// service bug, not a caller error).
+    /// Block until the query completes. A panic on the fulfilling side
+    /// surfaces as [`ServiceError::ShuttingDown`] instead of propagating.
     #[must_use = "the response carries the query result"]
     pub fn wait(self) -> Result<QueryResponse, ServiceError> {
-        let mut slot = self.state.slot.lock().unwrap();
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.state.ready.wait(slot).unwrap();
+            slot = match self.state.ready.wait(slot) {
+                Ok(guard) => guard,
+                Err(_) => return Err(ServiceError::ShuttingDown),
+            };
         }
     }
 
     /// Non-blocking poll; `None` while the query is still in flight.
     #[must_use]
     pub fn try_take(&self) -> Option<Result<QueryResponse, ServiceError>> {
-        self.state.slot.lock().unwrap().take()
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 }
 
@@ -247,6 +257,11 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// PageRank iterations used for `pr` queries.
     pub pr_iters: usize,
+    /// Run every worker device under the race sanitizer; detected hazards
+    /// surface in each response's [`RunReport::hazards`] and in
+    /// [`crate::ServiceStats::hazards`]. The `SAGE_SANITIZE` environment
+    /// variable additionally overrides this at device construction.
+    pub sanitize: bool,
 }
 
 impl Default for ServiceConfig {
@@ -259,6 +274,7 @@ impl Default for ServiceConfig {
             reorder_threshold: None,
             cache_capacity: 1024,
             pr_iters: 10,
+            sanitize: false,
         }
     }
 }
@@ -275,6 +291,7 @@ impl ServiceConfig {
             reorder_threshold: Some(4_000),
             cache_capacity: 256,
             pr_iters: 5,
+            sanitize: false,
         }
     }
 }

@@ -29,6 +29,15 @@ pub(crate) struct GraphEntry {
 
 pub(crate) type Registry = Arc<RwLock<Vec<Arc<GraphEntry>>>>;
 
+/// Shared slots a worker publishes its monitoring snapshots into after each
+/// batch; read by `SageService::stats`.
+pub(crate) struct StatsSlots {
+    /// Device profiler snapshot.
+    pub(crate) profile: Arc<Mutex<Profiler>>,
+    /// Cumulative sanitizer hazard count of the worker's device.
+    pub(crate) hazards: Arc<AtomicU64>,
+}
+
 /// Lazily constructed single-source apps, reused across batches so their
 /// device arrays are recycled.
 #[derive(Default)]
@@ -56,8 +65,7 @@ pub(crate) struct Worker {
     queue: Arc<JobQueue>,
     cache: Arc<ResultCache>,
     registry: Registry,
-    /// Where the worker publishes its device profiler for `stats()`.
-    profile_slot: Arc<Mutex<Profiler>>,
+    slots: StatsSlots,
 }
 
 impl Worker {
@@ -68,7 +76,7 @@ impl Worker {
         queue: Arc<JobQueue>,
         cache: Arc<ResultCache>,
         registry: Registry,
-        profile_slot: Arc<Mutex<Profiler>>,
+        slots: StatsSlots,
     ) -> Self {
         Self {
             id,
@@ -78,7 +86,7 @@ impl Worker {
             queue,
             cache,
             registry,
-            profile_slot,
+            slots,
         }
     }
 
@@ -87,7 +95,10 @@ impl Worker {
         let queue = Arc::clone(&self.queue);
         while let Some(batch) = queue.pop_batch(self.id, self.cfg.max_batch) {
             self.process_batch(batch);
-            *self.profile_slot.lock().unwrap() = self.dev.profiler_snapshot();
+            *self.slots.profile.lock().unwrap() = self.dev.profiler_snapshot();
+            self.slots
+                .hazards
+                .store(self.dev.hazard_count() as u64, Ordering::Release);
         }
     }
 
@@ -337,6 +348,7 @@ pub(crate) fn cache_hit_report(app: AppKind, latency: LatencyBreakdown) -> RunRe
         latency,
         host_seconds: 0.0,
         host_threads: 1,
+        hazards: gpu_sim::HazardReport::default(),
     }
 }
 

@@ -140,6 +140,11 @@ pub struct DeviceConfig {
     pub pcie: PcieConfig,
     /// Peer link to sibling GPUs (multi-GPU scenario).
     pub peer: PeerLinkConfig,
+
+    /// Run kernels under the shadow-memory race sanitizer. Overridable at
+    /// device construction by the `SAGE_SANITIZE` environment variable;
+    /// detection never changes simulated cycles or counters.
+    pub sanitize: bool,
 }
 
 impl Default for DeviceConfig {
@@ -182,6 +187,7 @@ impl DeviceConfig {
             atomic_cycles: 210,
             pcie: PcieConfig::default(),
             peer: PeerLinkConfig::default(),
+            sanitize: false,
         }
     }
 
@@ -241,6 +247,7 @@ impl DeviceConfig {
             atomic_cycles: 60,
             pcie: PcieConfig::default(),
             peer: PeerLinkConfig::default(),
+            sanitize: false,
         }
     }
 

@@ -5,7 +5,22 @@ use crate::config::DeviceConfig;
 use crate::kernel::Kernel;
 use crate::mem::{Allocator, DeviceArray, MemSpace};
 use crate::profile::Profiler;
+use crate::sanitizer::{Hazard, HazardReport};
 use std::collections::HashMap;
+
+/// Resolve the sanitizer switch: the `SAGE_SANITIZE` environment variable
+/// overrides [`DeviceConfig::sanitize`] when set (`0` / `false` / `off` /
+/// `no` / empty disable, anything else enables).
+#[must_use]
+pub fn default_sanitize(cfg_default: bool) -> bool {
+    match std::env::var("SAGE_SANITIZE") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off" | "no"
+        ),
+        Err(_) => cfg_default,
+    }
+}
 
 /// Resolve the default host-thread count for kernel simulation:
 /// `SAGE_HOST_THREADS` when set, otherwise the machine's available
@@ -39,6 +54,8 @@ pub struct Device {
     elapsed_cycles: f64,
     kernel_times: HashMap<String, (u64, f64)>,
     host_threads: usize,
+    sanitize: bool,
+    hazards: Vec<Hazard>,
 }
 
 impl Device {
@@ -51,6 +68,7 @@ impl Device {
             .collect();
         let l2 = SlicedCache::new(cfg.l2.lines(cfg.line_bytes), cfg.l2.ways, spl);
         let host_threads = default_host_threads(cfg.num_sms);
+        let sanitize = default_sanitize(cfg.sanitize);
         Self {
             device_alloc: Allocator::new(MemSpace::Device),
             host_alloc: Allocator::new(MemSpace::Host),
@@ -60,8 +78,46 @@ impl Device {
             elapsed_cycles: 0.0,
             kernel_times: HashMap::new(),
             host_threads,
+            sanitize,
+            hazards: Vec::new(),
             cfg,
         }
+    }
+
+    /// Whether kernels launched on this device run under the race sanitizer.
+    #[must_use]
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Turn the race sanitizer on or off for subsequent kernel launches.
+    /// Sanitized runs produce bitwise-identical cycles and counters — the
+    /// switch only controls hazard detection.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// Hazards every sanitized kernel on this device has reported so far,
+    /// in launch order.
+    #[must_use]
+    pub fn hazards(&self) -> &[Hazard] {
+        &self.hazards
+    }
+
+    /// Number of hazards recorded so far (snapshot this before a run to
+    /// attribute the run's delta).
+    #[must_use]
+    pub fn hazard_count(&self) -> usize {
+        self.hazards.len()
+    }
+
+    /// Drop all recorded hazards.
+    pub fn clear_hazards(&mut self) {
+        self.hazards.clear();
+    }
+
+    pub(crate) fn record_hazards(&mut self, report: &HazardReport) {
+        self.hazards.extend(report.hazards.iter().cloned());
     }
 
     /// Host threads kernel simulation may use (1 = sequential execution).

@@ -45,6 +45,7 @@ use crate::config::DeviceConfig;
 use crate::device::Device;
 use crate::mem::is_host_addr;
 use crate::profile::Profiler;
+use crate::sanitizer::{HazardReport, ShadowTracker};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -135,6 +136,9 @@ pub struct KernelReport {
     pub host_seconds: f64,
     /// Host threads the simulation was allowed to use (1 = sequential).
     pub host_threads: usize,
+    /// Hazards the race sanitizer detected in this kernel (always empty
+    /// when the sanitizer is disabled).
+    pub hazards: HazardReport,
 }
 
 impl KernelReport {
@@ -157,9 +161,11 @@ pub struct Kernel<'d> {
     per_sm: Vec<SmCounters>,
     concurrency: f64,
     scratch_sectors: Vec<u64>,
+    scratch_addrs: Vec<u64>,
     host_bytes: u64,
     host_requests: u64,
     trace: Option<TraceBuf>,
+    shadow: Option<ShadowTracker>,
     started: Instant,
 }
 
@@ -173,15 +179,18 @@ impl<'d> Kernel<'d> {
             seq: 0,
             threads,
         });
+        let shadow = dev.sanitize_enabled().then(|| ShadowTracker::new(sms));
         Self {
             dev,
             name: name.to_owned(),
             per_sm: vec![SmCounters::default(); sms],
             concurrency,
             scratch_sectors: Vec::with_capacity(64),
+            scratch_addrs: Vec::with_capacity(64),
             host_bytes: 0,
             host_requests: 0,
             trace,
+            shadow,
             started: Instant::now(),
         }
     }
@@ -235,11 +244,42 @@ impl<'d> Kernel<'d> {
     /// probed through L1 → L2 → DRAM. Host-space addresses become PCIe
     /// traffic instead (zero-copy / UM-style access).
     pub fn access(&mut self, sm: usize, kind: AccessKind, addrs: &[u64], elem_bytes: usize) {
+        self.access_impl(sm, kind, addrs, elem_bytes, true);
+    }
+
+    /// A warp/tile-wide *dirty write*: identical cost accounting to
+    /// [`Kernel::access`] with [`AccessKind::Write`], but exempt from the
+    /// race sanitizer's hazard pairing, like an atomic. Engines use it to
+    /// assert that a racy store is benign by construction — the paper's
+    /// §7.2 "dirty write" idiom (same-value or monotone stores whose
+    /// interleaving cannot change the converged result).
+    pub fn access_dirty(&mut self, sm: usize, addrs: &[u64], elem_bytes: usize) {
+        self.access_impl(sm, AccessKind::Write, addrs, elem_bytes, false);
+    }
+
+    fn access_impl(
+        &mut self,
+        sm: usize,
+        kind: AccessKind,
+        addrs: &[u64],
+        elem_bytes: usize,
+        shadowed: bool,
+    ) {
         if addrs.is_empty() {
             return;
         }
         let sector = self.dev.cfg().sector_bytes as u64;
         let sm = sm % self.per_sm.len();
+        if shadowed {
+            if let Some(sh) = &mut self.shadow {
+                for &a in addrs {
+                    match kind {
+                        AccessKind::Read => sh.read(sm, a, elem_bytes as u64),
+                        AccessKind::Write => sh.write(sm, a, elem_bytes as u64),
+                    }
+                }
+            }
+        }
 
         // Coalesce: collect the distinct sectors the lanes touch. Elements may
         // straddle sector boundaries when elem_bytes > 1.
@@ -328,6 +368,13 @@ impl<'d> Kernel<'d> {
         let warp = self.dev.cfg().warp_size as u64;
         let sector = self.dev.cfg().sector_bytes as u64;
         let sm = sm % self.per_sm.len();
+        if let Some(sh) = &mut self.shadow {
+            let bytes = count * elem_bytes as u64;
+            match kind {
+                AccessKind::Read => sh.read(sm, base, bytes),
+                AccessKind::Write => sh.write(sm, base, bytes),
+            }
+        }
         let is_write = kind == AccessKind::Write;
         let mut prev_host_sector: u64 = u64::MAX;
         let mut done = 0u64;
@@ -381,17 +428,22 @@ impl<'d> Kernel<'d> {
 
     /// Atomic read-modify-write by the lanes at `addrs` (one per lane).
     /// Conflicting lanes (same address) serialise; every distinct address
-    /// costs an L2 round trip.
-    pub fn atomic(&mut self, sm: usize, addrs: &mut [u64]) {
+    /// costs an L2 round trip. Atomics are exempt from the race sanitizer:
+    /// the L2 point of coherence serialises them against everything.
+    pub fn atomic(&mut self, sm: usize, addrs: &[u64]) {
         if addrs.is_empty() {
             return;
         }
         let sm = sm % self.per_sm.len();
         let n = addrs.len() as u64;
-        addrs.sort_unstable();
+        // Sort a scratch copy to count conflicting lanes without mutating
+        // the caller's address list.
+        self.scratch_addrs.clear();
+        self.scratch_addrs.extend_from_slice(addrs);
+        self.scratch_addrs.sort_unstable();
         let mut distinct = 1u64;
-        for i in 1..addrs.len() {
-            if addrs[i] != addrs[i - 1] {
+        for i in 1..self.scratch_addrs.len() {
+            if self.scratch_addrs[i] != self.scratch_addrs[i - 1] {
                 distinct += 1;
             }
         }
@@ -430,10 +482,26 @@ impl<'d> Kernel<'d> {
         c.mem_requests += 1;
     }
 
-    /// A block-wide barrier executed on `sm`.
+    /// A block-wide barrier executed on `sm`. Advances the sanitizer's
+    /// per-SM epoch clock (reporting metadata only — a block barrier never
+    /// orders accesses across SMs).
     pub fn sync(&mut self, sm: usize) {
         let n = self.per_sm.len();
         self.per_sm[sm % n].syncs += 1;
+        if let Some(sh) = &mut self.shadow {
+            sh.barrier(sm);
+        }
+    }
+
+    /// A device-wide cooperative-grid barrier (`grid.sync()`): orders every
+    /// access recorded before it against every access after it for the race
+    /// sanitizer. The cost model charges nothing — a grid sync costs on the
+    /// order of a kernel tail, below the resolution of this transaction-level
+    /// model — so enabling the sanitizer cannot change any simulated number.
+    pub fn grid_sync(&mut self) {
+        if let Some(sh) = &mut self.shadow {
+            sh.grid_barrier();
+        }
     }
 
     /// Explicit PCIe traffic attributed to this kernel (e.g. UM page faults).
@@ -455,6 +523,13 @@ impl<'d> Kernel<'d> {
         if let Some(trace) = self.trace.take() {
             replay_trace(self.dev, trace, &mut self.per_sm);
         }
+        let hazards = HazardReport {
+            hazards: self
+                .shadow
+                .take()
+                .map_or_else(Vec::new, |s| s.finish(&self.name)),
+        };
+        self.dev.record_hazards(&hazards);
         let cfg = self.dev.cfg().clone();
         let mut totals = Profiler {
             kernels: 1,
@@ -543,6 +618,7 @@ impl<'d> Kernel<'d> {
             pcie_bytes: self.host_bytes,
             host_seconds: self.started.elapsed().as_secs_f64(),
             host_threads,
+            hazards,
         }
     }
 }
@@ -588,8 +664,13 @@ impl<'d> SmShard<'_, 'd> {
         self.k.access_range(self.sm, kind, base, count, elem_bytes);
     }
 
+    /// A sanitizer-exempt benign-race store ([`Kernel::access_dirty`]).
+    pub fn access_dirty(&mut self, addrs: &[u64], elem_bytes: usize) {
+        self.k.access_dirty(self.sm, addrs, elem_bytes);
+    }
+
     /// Atomic read-modify-writes by the lanes ([`Kernel::atomic`]).
-    pub fn atomic(&mut self, addrs: &mut [u64]) {
+    pub fn atomic(&mut self, addrs: &[u64]) {
         self.k.atomic(self.sm, addrs);
     }
 
@@ -859,14 +940,14 @@ mod tests {
     fn atomics_conflicts_serialize() {
         let mut d = dev();
         let mut k = d.launch("atomic");
-        let mut same = vec![64u64; 8];
-        k.atomic(0, &mut same);
+        let same = vec![64u64; 8];
+        k.atomic(0, &same);
         let conflicted = k.finish();
 
         let mut d2 = dev();
         let mut k = d2.launch("atomic");
-        let mut distinct: Vec<u64> = (0..8).map(|i| 64 + i * 64).collect();
-        k.atomic(0, &mut distinct);
+        let distinct: Vec<u64> = (0..8).map(|i| 64 + i * 64).collect();
+        k.atomic(0, &distinct);
         let _ = k.finish();
 
         assert_eq!(d.profiler().atomic_conflicts, 7);
@@ -983,8 +1064,8 @@ mod tests {
                     .collect();
                 k.access(sm, AccessKind::Read, &addrs, 4);
                 k.access_range(sm, AccessKind::Write, 65536 + sm as u64 * 512, 200, 4);
-                let mut at: Vec<u64> = (0..8).map(|i| 128 * ((i * 7 + sm as u64) % 5)).collect();
-                k.atomic(sm, &mut at);
+                let at: Vec<u64> = (0..8).map(|i| 128 * ((i * 7 + sm as u64) % 5)).collect();
+                k.atomic(sm, &at);
                 // re-touch the same addresses: exercises warm L1/L2 state
                 k.access(sm, AccessKind::Read, &addrs, 4);
                 k.sync(sm);
@@ -1068,14 +1149,84 @@ mod tests {
             sh.exec_uniform(5);
             sh.access(AccessKind::Read, &[4096], 4);
             sh.access_range(AccessKind::Write, 8192, 32, 4);
-            let mut at = vec![64u64, 64];
-            sh.atomic(&mut at);
+            let at = vec![64u64, 64];
+            sh.atomic(&at);
             sh.sync();
         }
         let r = k.finish();
         assert_eq!(r.active_sms, 1);
         assert_eq!(d.profiler().syncs, 1);
         assert!(d.profiler().write_sectors > 0);
+    }
+
+    fn sanitized_dev() -> Device {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.sanitize = true;
+        Device::new(cfg)
+    }
+
+    #[test]
+    fn racy_fixture_reports_exactly_one_hazard() {
+        let mut d = sanitized_dev();
+        let r = crate::sanitizer::run_racy_fixture(&mut d);
+        assert_eq!(r.hazards.len(), 1);
+        assert_eq!(
+            r.hazards.hazards[0].kind,
+            crate::sanitizer::HazardKind::WriteWrite
+        );
+        assert_eq!(d.hazard_count(), 1);
+        // without the sanitizer the same kernel is silent
+        let mut d = dev();
+        let r = crate::sanitizer::run_racy_fixture(&mut d);
+        assert!(r.hazards.is_empty());
+        assert_eq!(d.hazard_count(), 0);
+    }
+
+    #[test]
+    fn sanitizer_is_cost_neutral_and_clean_on_ordered_kernels() {
+        let run = |sanitize: bool, threads: usize| {
+            let mut d = dev();
+            d.set_sanitize(sanitize);
+            d.set_host_threads(threads);
+            let mut k = d.launch("ordered");
+            // per-SM disjoint writes + atomics + a grid-sync'd cross-SM pass
+            for sm in 0..4 {
+                k.access_range(sm, AccessKind::Write, 4096 + sm as u64 * 256, 64, 4);
+                k.atomic(sm, &[1 << 14]);
+                k.sync(sm);
+            }
+            k.grid_sync();
+            for sm in 0..4 {
+                k.access(sm, AccessKind::Read, &[4096, 4160, 4224], 4);
+            }
+            // dirty writes race by design but are exempt
+            k.access_dirty(0, &[1 << 15], 4);
+            k.access_dirty(1, &[1 << 15], 4);
+            let r = k.finish();
+            assert_eq!(d.hazard_count(), 0, "ordered kernel must be hazard-free");
+            (r.cycles.to_bits(), d.profiler().clone())
+        };
+        for threads in [1, 4] {
+            assert_eq!(
+                run(false, threads),
+                run(true, threads),
+                "sanitizing must not change simulated results (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn unsynchronized_cross_sm_write_read_is_flagged() {
+        let mut d = sanitized_dev();
+        let mut k = d.launch("rw");
+        k.access(0, AccessKind::Write, &[8192], 4);
+        k.access(2, AccessKind::Read, &[8192], 4);
+        let r = k.finish();
+        assert_eq!(r.hazards.len(), 1);
+        let hz = &r.hazards.hazards[0];
+        assert_eq!(hz.kind, crate::sanitizer::HazardKind::ReadWrite);
+        assert_eq!(hz.kernel, "rw");
+        assert_eq!((hz.first.sm, hz.second.sm), (0, 2));
     }
 
     #[test]

@@ -35,9 +35,6 @@
 //! assert!(report.seconds > 0.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod cache;
 pub mod config;
 pub mod cpu;
@@ -48,15 +45,17 @@ pub mod mem;
 pub mod multi;
 pub mod pcie;
 pub mod profile;
+pub mod sanitizer;
 pub mod tile;
 
 pub use cache::{Probe, SectorCache, SlicedCache};
 pub use config::{CacheConfig, CpuConfig, DeviceConfig, PcieConfig, PeerLinkConfig};
 pub use cpu::Cpu;
-pub use device::{default_host_threads, Device};
+pub use device::{default_host_threads, default_sanitize, Device};
 pub use host::{PoolAccess, UmPool};
 pub use kernel::{AccessKind, Kernel, KernelReport, SmShard};
 pub use mem::{Allocator, DeviceArray, MemSpace};
 pub use multi::{device_pool, DeviceGroup};
 pub use profile::Profiler;
+pub use sanitizer::{Hazard, HazardKind, HazardParty, HazardReport};
 pub use tile::Tile;
