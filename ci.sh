@@ -34,8 +34,20 @@ for app in bfs cc pr; do
     "$app" --dataset brain --scale 0.05 --engine subway --out-of-core --threads 4 > /dev/null
 done
 
+echo "== race sanitizer: walk kernels hazard-free for both apps and samplers =="
+for app in ppr node2vec; do
+  for sampler in its alias; do
+    for t in 1 4; do
+      SAGE_SANITIZE=1 cargo run --release -q -p sage-bench --bin sage_cli -- \
+        walk --dataset brain --scale 0.05 --walk-app "$app" --sampler "$sampler" \
+        --walks 64 --length 16 --threads "$t" > /dev/null
+    done
+  done
+done
+
 echo "== determinism (release): parallel simulation == sequential, bit for bit =="
 cargo test --release -q -p sage --test prop_determinism
+cargo test --release -q -p sage --test prop_walk
 cargo test --release -q -p gpu-sim kernel::
 
 echo "== traversal_bench (writes BENCH_traversal.json) =="
@@ -46,6 +58,14 @@ echo "== traversal_bench (writes BENCH_traversal.json) =="
 cargo run --release -q -p sage-bench --bin traversal_bench -- --threads 1
 cargo run --release -q -p sage-bench --bin traversal_bench -- --threads 4
 test -s BENCH_traversal.json || { echo "BENCH_traversal.json missing"; exit 1; }
+
+echo "== walk_bench (writes BENCH_walk.json) =="
+# asserts 1-vs-N-thread walk batches are bitwise identical, MC-PPR top-k
+# tracks power-iteration PageRank, and >= 1000 concurrent walk queries
+# fuse into one serve-layer launch; self-validates the emitted JSON.
+cargo run --release -q -p sage-bench --bin walk_bench -- --threads 1
+cargo run --release -q -p sage-bench --bin walk_bench -- --threads 4
+test -s BENCH_walk.json || { echo "BENCH_walk.json missing"; exit 1; }
 
 echo "== serve_bench (writes BENCH_serve.json) =="
 cargo run --release -q -p sage-bench --bin serve_bench

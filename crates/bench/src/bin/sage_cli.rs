@@ -5,7 +5,7 @@
 //!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
 //!          [--push-only] [--threads N] [--sanitize]
 //!
-//!   app       bfs | bc | pr | cc | sssp | mis | kcore | serve
+//!   app       bfs | bc | pr | cc | sssp | mis | kcore | walk | serve
 //!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
 //!   --dataset uk-2002 | brain | ljournal | twitter | friendster
 //!   --engine  sage (default) | sage-tp | naive | b40c | tigr | gunrock | ligra
@@ -28,6 +28,22 @@
 //!
 //! serve mode (concurrent query service over a device pool):
 //!   sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N]
+//!
+//! walk mode (deterministic random-walk engine on the adaptive runtime):
+//!   sage_cli walk [--graph FILE | --dataset NAME] [--walk-app ppr|node2vec]
+//!            [--walks N] [--length N] [--alpha F] [--p F] [--q F] [--seed N]
+//!            [--sampler its|alias] [--source N] [--threads N] [--sanitize]
+//!            [--profile]
+//!
+//!   --walk-app ppr (default) | node2vec
+//!   --walks   walkers launched per source (default 256)
+//!   --length  maximum walk length in steps (default 32)
+//!   --alpha   PPR termination probability per step (default 0.15)
+//!   --p, --q  node2vec return / in-out parameters (default 1.0 each)
+//!   --seed    base of the counter RNG; same seed = bitwise-identical
+//!             walks at any host thread count (default 42)
+//!   --sampler its (inverse transform over the CSR row, default) | alias
+//!             (epoch-cached alias table; O(1) draws on weighted rows)
 //! ```
 //!
 //! Example:
@@ -62,6 +78,14 @@ struct Args {
     sanitize: bool,
     devices: usize,
     requests: usize,
+    walk_app: String,
+    walks: usize,
+    length: usize,
+    alpha: f64,
+    p: f64,
+    q: f64,
+    seed: u64,
+    sampler: String,
 }
 
 fn usage() -> ! {
@@ -71,7 +95,10 @@ fn usage() -> ! {
          [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only] [--threads N] \
          [--sanitize]\n\
          \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N] \
-         [--sanitize]"
+         [--sanitize]\n\
+         \x20      sage_cli walk [--graph FILE | --dataset NAME] [--walk-app ppr|node2vec] \
+         [--walks N] [--length N] [--alpha F] [--p F] [--q F] [--seed N] \
+         [--sampler its|alias] [--source N] [--threads N] [--sanitize] [--profile]"
     );
     exit(2)
 }
@@ -79,7 +106,11 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     let app = argv.next().unwrap_or_else(|| usage());
-    if !["bfs", "bc", "pr", "cc", "sssp", "mis", "kcore", "serve"].contains(&app.as_str()) {
+    if ![
+        "bfs", "bc", "pr", "cc", "sssp", "mis", "kcore", "walk", "serve",
+    ]
+    .contains(&app.as_str())
+    {
         eprintln!("unknown app {app:?}");
         usage();
     }
@@ -98,6 +129,14 @@ fn parse_args() -> Args {
         sanitize: false,
         devices: 2,
         requests: 64,
+        walk_app: "ppr".into(),
+        walks: 256,
+        length: 32,
+        alpha: 0.15,
+        p: 1.0,
+        q: 1.0,
+        seed: 42,
+        sampler: "its".into(),
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> String {
@@ -124,6 +163,14 @@ fn parse_args() -> Args {
             "--requests" => {
                 args.requests = value("--requests").parse().unwrap_or_else(|_| usage());
             }
+            "--walk-app" => args.walk_app = value("--walk-app"),
+            "--walks" => args.walks = value("--walks").parse().unwrap_or_else(|_| usage()),
+            "--length" => args.length = value("--length").parse().unwrap_or_else(|_| usage()),
+            "--alpha" => args.alpha = value("--alpha").parse().unwrap_or_else(|_| usage()),
+            "--p" => args.p = value("--p").parse().unwrap_or_else(|_| usage()),
+            "--q" => args.q = value("--q").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--sampler" => args.sampler = value("--sampler"),
             _ => {
                 eprintln!("unknown flag {flag:?}");
                 usage();
@@ -177,6 +224,103 @@ fn make_engine(name: &str, dev: &mut Device, csr: &Csr) -> Box<dyn Engine> {
             eprintln!("unknown engine {other:?}");
             usage()
         }
+    }
+}
+
+/// `sage_cli walk`: run a deterministic random-walk batch on the adaptive
+/// runtime and print the terminal distribution of the hottest nodes.
+fn walk_mode(args: &Args, csr: Csr) {
+    use sage::walk::{Node2vec, Ppr, SamplerKind, WalkApp, WalkSpec, WalkWeights};
+    use sage::SageRuntime;
+
+    if (args.source as usize) >= csr.num_nodes() {
+        eprintln!("source {} out of range", args.source);
+        exit(1);
+    }
+    let sampler = SamplerKind::parse(&args.sampler).unwrap_or_else(|| {
+        eprintln!("unknown sampler {:?} (want its|alias)", args.sampler);
+        usage()
+    });
+    let app: Box<dyn WalkApp> = match args.walk_app.as_str() {
+        "ppr" => {
+            if !(args.alpha > 0.0 && args.alpha < 1.0) {
+                eprintln!("--alpha must lie in (0, 1), got {}", args.alpha);
+                exit(2);
+            }
+            Box::new(Ppr::new(args.alpha))
+        }
+        "node2vec" | "n2v" => Box::new(Node2vec::new(args.p, args.q)),
+        other => {
+            eprintln!("unknown walk app {other:?} (want ppr|node2vec)");
+            usage()
+        }
+    };
+    let spec = WalkSpec {
+        walks_per_source: args.walks.max(1),
+        max_length: args.length.max(1),
+        seed: args.seed,
+        sampler,
+        weights: WalkWeights::Synthetic,
+    };
+
+    let mut dev = Device::default_device();
+    if let Some(t) = args.threads {
+        dev.set_host_threads(t);
+    }
+    if args.sanitize {
+        dev.set_sanitize(true);
+    }
+    println!(
+        "graph: {} nodes, {} edges | app: {} | sampler: {} | {} walks x {} steps, seed {}",
+        csr.num_nodes(),
+        csr.num_edges(),
+        app.name(),
+        spec.sampler.name(),
+        spec.walks_per_source,
+        spec.max_length,
+        spec.seed,
+    );
+    let mut rt = SageRuntime::new(&mut dev, csr);
+    let out = rt.run_walk(&mut dev, app.as_ref(), &spec, &[args.source]);
+    let r = &out.report;
+    println!(
+        "run 0: {r} | host {:.1} ms on {} thread{} | {} walkers, {} steps",
+        r.host_seconds * 1e3,
+        r.host_threads,
+        if r.host_threads == 1 { "" } else { "s" },
+        out.walkers,
+        out.steps,
+    );
+
+    let scores = out.endpoint_scores(0);
+    let mut ranked: Vec<(u32, f32)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(v, &s)| (v as u32, s))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    println!("top terminal nodes:");
+    for (v, s) in ranked.iter().take(8) {
+        println!("  node {v:<10} mass {s:.4}");
+    }
+
+    if args.profile {
+        println!("\nprofiler:\n{}", dev.profiler());
+        println!("\nkernel breakdown:");
+        for (name, launches, secs) in dev.kernel_breakdown() {
+            println!(
+                "  {name:<22} {launches:>6} launches  {:>10.3} ms",
+                secs * 1e3
+            );
+        }
+    }
+    if !dev.hazards().is_empty() {
+        eprintln!("\nsanitizer: {} hazards detected", dev.hazard_count());
+        for h in dev.hazards() {
+            eprintln!("  {h}");
+        }
+        exit(1);
     }
 }
 
@@ -271,6 +415,10 @@ fn main() {
     let csr = load_graph(&args);
     if args.app == "serve" {
         serve_mode(&args, csr);
+        return;
+    }
+    if args.app == "walk" {
+        walk_mode(&args, csr);
         return;
     }
     println!(

@@ -43,6 +43,7 @@ pub mod pipeline;
 pub mod reference;
 pub mod reorder;
 pub mod runtime;
+pub mod walk;
 
 pub use access::AccessRecorder;
 pub use dgraph::{DeviceGraph, GraphPlacement};

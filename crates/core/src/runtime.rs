@@ -14,7 +14,9 @@ use crate::engine::{Engine, ResidentEngine};
 use crate::metrics::RunReport;
 use crate::pipeline::Runner;
 use crate::reorder::Sampler;
+use crate::walk::{WalkApp, WalkEngine, WalkOutput, WalkSpec};
 use gpu_sim::Device;
+use sage_graph::update::UpdateBatch;
 use sage_graph::{Csr, NodeId, Permutation};
 use std::sync::OnceLock;
 
@@ -70,6 +72,10 @@ pub struct SageRuntime {
     /// Set once locality regressed repeatedly: the order has converged
     /// "to a relatively high level" (§6).
     converged: bool,
+    /// Sampling threshold, kept so dynamic updates can re-arm the sampler.
+    threshold: u64,
+    /// Walk engine (and its per-epoch alias-table cache) for this graph.
+    walk_engine: WalkEngine,
 }
 
 impl SageRuntime {
@@ -99,6 +105,8 @@ impl SageRuntime {
             regressions: 0,
             plateau: 0,
             converged: false,
+            threshold,
+            walk_engine: WalkEngine::new(),
         }
     }
 
@@ -151,6 +159,90 @@ impl SageRuntime {
         let src = self.perm.map(source);
         self.runner
             .run(dev, &self.graph, &mut self.engine, app, src)
+    }
+
+    /// Run a random-walk batch from `sources` (*original* node ids) and
+    /// return its output re-mapped into original-id space. The engine's
+    /// alias-table cache is keyed by this runtime's epoch, so reorder
+    /// commits, rollbacks, and dynamic updates all invalidate it; synthetic
+    /// edge weights hash original ids, so the sampled distribution is
+    /// invariant under reordering.
+    pub fn run_walk(
+        &mut self,
+        dev: &mut Device,
+        app: &dyn WalkApp,
+        spec: &WalkSpec,
+        sources: &[NodeId],
+    ) -> WalkOutput {
+        let cur_sources: Vec<NodeId> = sources.iter().map(|&s| self.perm.map(s)).collect();
+        let inv = self.perm.inverse();
+        let out = self.walk_engine.run(
+            dev,
+            &self.graph,
+            app,
+            spec,
+            &cur_sources,
+            Some(inv.as_slice()),
+            self.epoch,
+        );
+        // re-map per-node outputs back to original ids
+        let visits = inv.apply_values(&out.visits);
+        let mut endpoints = Vec::with_capacity(out.endpoints.len());
+        for slot in 0..out.num_sources {
+            endpoints.extend(inv.apply_values(out.endpoints_for(slot)));
+        }
+        WalkOutput {
+            endpoints,
+            visits,
+            ..out
+        }
+    }
+
+    /// The walk engine's cached alias-table epoch, if one is staged —
+    /// observable so tests can prove stale tables are never reused.
+    #[must_use]
+    pub fn alias_epoch(&self) -> Option<u64> {
+        self.walk_engine.alias_epoch()
+    }
+
+    /// Merge a batch of dynamic edge updates (expressed in *original* node
+    /// ids) into the live graph. The CSR is rebuilt and re-uploaded, the
+    /// sampler re-armed, and the epoch bumped — so result caches and the
+    /// alias-table cache keyed on the old epoch go stale, and adaptation
+    /// resumes even if reordering had converged. Ids beyond the current
+    /// range grow the graph and map to themselves.
+    pub fn apply_update(&mut self, dev: &mut Device, batch: &UpdateBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let n_old = self.perm.len();
+        let mapped = batch.mapped(|x| {
+            if (x as usize) < n_old {
+                self.perm.map(x)
+            } else {
+                x
+            }
+        });
+        let new_csr = mapped.apply(self.graph.csr());
+        let n_new = new_csr.num_nodes();
+        if n_new > n_old {
+            self.perm = self.perm.extended(n_new);
+        }
+        // node/edge counts may have changed: re-upload rather than patch
+        self.graph = DeviceGraph::upload(dev, new_csr).with_in_edges(dev);
+        self.engine = ResidentEngine::new();
+        self.engine.sampler = Some(Sampler::new(n_new, self.threshold));
+        self.prev_locality = None;
+        self.undo = None;
+        self.plateau = 0;
+        self.regressions = 0;
+        self.converged = false;
+        self.epoch += 1;
+        debug_log!(
+            "update batch merged ({} ops), epoch -> {}",
+            batch.len(),
+            self.epoch
+        );
     }
 
     /// True once reordering has converged (a round regressed and was
@@ -353,6 +445,102 @@ mod tests {
         } else {
             assert_eq!(rt.epoch(), 0);
         }
+    }
+
+    #[test]
+    fn apply_update_merges_and_preserves_results() {
+        let csr = graph();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let mut rt = SageRuntime::with_threshold(&mut dev, csr.clone(), 500);
+        let mut app = Bfs::new(&mut dev);
+        let _ = rt.run(&mut dev, &mut app, 5);
+        rt.maybe_reorder(&mut dev); // make the permutation non-trivial
+        let epoch_before = rt.epoch();
+
+        // grow the graph: new edges plus a brand-new node
+        let n = csr.num_nodes() as NodeId;
+        let mut batch = sage_graph::update::UpdateBatch::new();
+        batch.insert_undirected(5, n).insert_undirected(0, 7);
+        rt.apply_update(&mut dev, &batch);
+        assert_eq!(rt.epoch(), epoch_before + 1, "update must bump the epoch");
+        assert!(!rt.converged(), "updates re-open adaptation");
+        assert_eq!(rt.permutation().len(), csr.num_nodes() + 1);
+
+        let mut app2 = Bfs::new(&mut dev);
+        let _ = rt.run(&mut dev, &mut app2, 5);
+        let got = rt.to_original_order(app2.distances());
+        let expect = reference::bfs_levels(&batch.apply(&csr), 5);
+        assert_eq!(got, expect, "BFS on the merged graph must match reference");
+    }
+
+    #[test]
+    fn stale_alias_table_never_served_after_commit() {
+        use crate::walk::{Ppr, SamplerKind, WalkSpec, WalkWeights};
+        let csr = graph();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let mut rt = SageRuntime::with_threshold(&mut dev, csr, 500);
+        let spec = WalkSpec {
+            walks_per_source: 8,
+            max_length: 6,
+            sampler: SamplerKind::Alias,
+            weights: WalkWeights::Synthetic,
+            ..WalkSpec::default()
+        };
+        let app = Ppr::new(0.2);
+        let _ = rt.run_walk(&mut dev, &app, &spec, &[3]);
+        assert_eq!(rt.alias_epoch(), Some(0));
+
+        // a reorder commit bumps the epoch; the next walk must rebuild
+        let mut bfs = Bfs::new(&mut dev);
+        let _ = rt.run(&mut dev, &mut bfs, 0);
+        assert!(rt.force_reorder(&mut dev), "round must commit");
+        let _ = rt.run_walk(&mut dev, &app, &spec, &[3]);
+        assert_eq!(
+            rt.alias_epoch(),
+            Some(rt.epoch()),
+            "alias table must track the commit epoch"
+        );
+
+        // so does a dynamic update (the CSR itself changed shape)
+        let mut batch = sage_graph::update::UpdateBatch::new();
+        batch.insert_undirected(0, 1);
+        rt.apply_update(&mut dev, &batch);
+        let _ = rt.run_walk(&mut dev, &app, &spec, &[3]);
+        assert_eq!(
+            rt.alias_epoch(),
+            Some(rt.epoch()),
+            "alias table must track the update epoch"
+        );
+    }
+
+    #[test]
+    fn walk_endpoint_mass_conserved_across_reordering() {
+        use crate::walk::{Node2vec, SamplerKind, WalkSpec, WalkWeights};
+        let csr = graph();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let mut rt = SageRuntime::with_threshold(&mut dev, csr, 500);
+        let spec = WalkSpec {
+            walks_per_source: 32,
+            max_length: 5,
+            sampler: SamplerKind::Its,
+            weights: WalkWeights::Uniform,
+            ..WalkSpec::default()
+        };
+        let app = Node2vec::new(1.0, 1.0);
+        let out = rt.run_walk(&mut dev, &app, &spec, &[2, 9]);
+        let mass: u64 = out.endpoints.iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(mass, out.walkers as u64);
+        let mut bfs = Bfs::new(&mut dev);
+        let _ = rt.run(&mut dev, &mut bfs, 0);
+        rt.force_reorder(&mut dev);
+        let out2 = rt.run_walk(&mut dev, &app, &spec, &[2, 9]);
+        let mass2: u64 = out2.endpoints.iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(mass2, out2.walkers as u64);
+        // visit mass: every walker visits its source plus one node per step
+        assert_eq!(
+            out2.visits.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            out2.walkers as u64 + out2.steps
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`stats`] — degree-distribution and skew metrics;
 //! * [`reorder`] — the reordering baselines of §7: RCM, LLP, Gorder, plus
 //!   utility orders (identity, random, degree);
+//! * [`sample`] — weighted neighbor samplers for random walks (per-row
+//!   alias tables and inverse-transform sampling);
 //! * [`partition`] — a METIS-like balanced edge-cut partitioner for the
 //!   multi-GPU scenario;
 //! * [`update`] — dynamic edge insertion (the paper's dynamic-graph
@@ -23,6 +25,7 @@ pub mod gen;
 pub mod io;
 pub mod partition;
 pub mod reorder;
+pub mod sample;
 pub mod stats;
 pub mod update;
 
@@ -37,3 +40,4 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use io::ReadError;
 pub use reorder::Permutation;
+pub use sample::AliasTable;

@@ -176,6 +176,20 @@ impl Permutation {
         Csr::from_parts(offsets, targets).expect("permuted CSR must be valid")
     }
 
+    /// Pad the bijection with identity entries up to `n` nodes — used when
+    /// a dynamic update grows the graph and existing ids must keep their
+    /// current mapping while new ids map to themselves.
+    ///
+    /// # Panics
+    /// Panics when `n` is smaller than the current length.
+    #[must_use]
+    pub fn extended(&self, n: usize) -> Self {
+        assert!(n >= self.len(), "cannot shrink a permutation");
+        let mut new_of_old = self.new_of_old.clone();
+        new_of_old.extend(self.len() as NodeId..n as NodeId);
+        Self { new_of_old }
+    }
+
     /// Relabel per-node values: `out[perm[u]] = values[u]`.
     ///
     /// # Panics

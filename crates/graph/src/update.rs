@@ -53,6 +53,17 @@ impl UpdateBatch {
         self.inserts.is_empty() && self.deletes.is_empty()
     }
 
+    /// A copy of the batch with every node id passed through `f` — used by
+    /// the SAGE runtime to translate original-id updates into the current
+    /// (reordered) id space before merging.
+    #[must_use]
+    pub fn mapped(&self, f: impl Fn(NodeId) -> NodeId) -> Self {
+        Self {
+            inserts: self.inserts.iter().map(|&(u, v)| (f(u), f(v))).collect(),
+            deletes: self.deletes.iter().map(|&(u, v)| (f(u), f(v))).collect(),
+        }
+    }
+
     /// Merge the batch into `g`, producing the updated CSR. Nodes beyond the
     /// current id range grow the graph. Deletions of absent edges are
     /// ignored; duplicate insertions collapse.

@@ -47,5 +47,5 @@ pub use msapp::{MsBfs, MsSssp, MAX_SOURCES};
 pub use service::{SageService, ServiceStats};
 pub use types::{
     AppKind, GraphId, QueryRequest, QueryResponse, ResultValues, ServiceConfig, ServiceError,
-    Ticket,
+    Ticket, WalkAppKind, WalkPolicy,
 };

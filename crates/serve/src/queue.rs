@@ -42,6 +42,34 @@ impl PendingQuery {
     }
 }
 
+/// Per-app batch-size caps: traversal batches stop at `default_cap`
+/// queries, walk batches at `walk_cap` (walks fuse thousands of tiny
+/// queries into one kernel launch, so their cap is far higher).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchLimits {
+    pub(crate) default_cap: usize,
+    pub(crate) walk_cap: usize,
+}
+
+impl BatchLimits {
+    /// One cap for every app (tests, simple callers).
+    #[cfg(test)]
+    pub(crate) fn uniform(cap: usize) -> Self {
+        Self {
+            default_cap: cap,
+            walk_cap: cap,
+        }
+    }
+
+    fn cap(&self, app: AppKind) -> usize {
+        let cap = match app {
+            AppKind::Walk => self.walk_cap,
+            _ => self.default_cap,
+        };
+        cap.max(1)
+    }
+}
+
 /// The shared queue: per-worker deques + capacity gate + parking lot.
 pub(crate) struct JobQueue {
     deques: Vec<Mutex<VecDeque<PendingQuery>>>,
@@ -113,19 +141,22 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Blocking pop of the next batch for `worker`: up to `max_batch`
-    /// queries sharing one key, taken from the worker's own deque front or
-    /// stolen from a victim's back. Returns `None` once the queue is shut
-    /// down *and* empty.
-    pub(crate) fn pop_batch(&self, worker: usize, max_batch: usize) -> Option<Vec<PendingQuery>> {
-        let max_batch = max_batch.max(1);
+    /// Blocking pop of the next batch for `worker`: queries sharing one
+    /// key — up to the key's app cap in `limits` — taken from the worker's
+    /// own deque front or stolen from a victim's back. Returns `None` once
+    /// the queue is shut down *and* empty.
+    pub(crate) fn pop_batch(
+        &self,
+        worker: usize,
+        limits: BatchLimits,
+    ) -> Option<Vec<PendingQuery>> {
         loop {
-            if let Some(batch) = self.try_pop_batch(worker, max_batch) {
+            if let Some(batch) = self.try_pop_batch(worker, limits) {
                 return Some(batch);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 // drain fully before exiting: another deque may still hold work
-                if let Some(batch) = self.try_pop_batch(worker, max_batch) {
+                if let Some(batch) = self.try_pop_batch(worker, limits) {
                     return Some(batch);
                 }
                 return None;
@@ -141,25 +172,30 @@ impl JobQueue {
         }
     }
 
-    fn try_pop_batch(&self, worker: usize, max_batch: usize) -> Option<Vec<PendingQuery>> {
+    fn try_pop_batch(&self, worker: usize, limits: BatchLimits) -> Option<Vec<PendingQuery>> {
         // own deque first: batch from the front (FIFO fairness)
-        if let Some(batch) = self.extract(worker, max_batch, false) {
+        if let Some(batch) = self.extract(worker, limits, false) {
             return Some(batch);
         }
         // then steal: victims scanned in order, batch from the back
         let n = self.deques.len();
         for step in 1..n {
             let victim = (worker + step) % n;
-            if let Some(batch) = self.extract(victim, max_batch, true) {
+            if let Some(batch) = self.extract(victim, limits, true) {
                 return Some(batch);
             }
         }
         None
     }
 
-    /// Remove up to `max_batch` queries matching the key of the deque's
-    /// front (or back, for steals) entry.
-    fn extract(&self, slot: usize, max_batch: usize, from_back: bool) -> Option<Vec<PendingQuery>> {
+    /// Remove queries matching the key of the deque's front (or back, for
+    /// steals) entry, up to the key's app batch cap.
+    fn extract(
+        &self,
+        slot: usize,
+        limits: BatchLimits,
+        from_back: bool,
+    ) -> Option<Vec<PendingQuery>> {
         // Recover a poisoned deque: the panicking thread held the lock only
         // across complete push_back/pop_front calls, so the contents are
         // structurally intact and the remaining queries can still be served
@@ -172,6 +208,7 @@ impl JobQueue {
         } else {
             deque.front()?.key()
         };
+        let max_batch = limits.cap(key.app);
         let mut batch = Vec::new();
         let mut keep = VecDeque::with_capacity(deque.len());
         while let Some(job) = deque.pop_front() {
@@ -221,7 +258,7 @@ mod tests {
     fn push_then_pop_roundtrips() {
         let q = JobQueue::new(2, 8);
         q.push(job(0, AppKind::Bfs, 3)).map_err(|_| ()).unwrap();
-        let batch = q.pop_batch(0, 4).unwrap();
+        let batch = q.pop_batch(0, BatchLimits::uniform(4)).unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].request.source, 3);
         assert_eq!(q.len(), 0);
@@ -236,7 +273,7 @@ mod tests {
             q.push(job(0, AppKind::Bfs, 2)).is_err(),
             "third push must bounce"
         );
-        let _ = q.pop_batch(0, 1).unwrap();
+        let _ = q.pop_batch(0, BatchLimits::uniform(1)).unwrap();
         assert!(q.push(job(0, AppKind::Bfs, 2)).is_ok(), "capacity frees up");
     }
 
@@ -247,14 +284,14 @@ mod tests {
         q.push(job(0, AppKind::Pr, 0)).map_err(|_| ()).unwrap();
         q.push(job(0, AppKind::Bfs, 2)).map_err(|_| ()).unwrap();
         q.push(job(1, AppKind::Bfs, 3)).map_err(|_| ()).unwrap();
-        let batch = q.pop_batch(0, 8).unwrap();
+        let batch = q.pop_batch(0, BatchLimits::uniform(8)).unwrap();
         assert_eq!(batch.len(), 2, "both graph-0 bfs queries batch together");
         assert!(batch
             .iter()
             .all(|j| j.request.app == AppKind::Bfs && j.request.graph == 0));
-        let batch = q.pop_batch(0, 8).unwrap();
+        let batch = q.pop_batch(0, BatchLimits::uniform(8)).unwrap();
         assert_eq!(batch[0].request.app, AppKind::Pr);
-        let batch = q.pop_batch(0, 8).unwrap();
+        let batch = q.pop_batch(0, BatchLimits::uniform(8)).unwrap();
         assert_eq!(batch[0].request.graph, 1);
         assert_eq!(q.len(), 0);
     }
@@ -265,8 +302,28 @@ mod tests {
         for s in 0..5 {
             q.push(job(0, AppKind::Bfs, s)).map_err(|_| ()).unwrap();
         }
-        assert_eq!(q.pop_batch(0, 3).unwrap().len(), 3);
-        assert_eq!(q.pop_batch(0, 3).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(0, BatchLimits::uniform(3)).unwrap().len(), 3);
+        assert_eq!(q.pop_batch(0, BatchLimits::uniform(3)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn walk_batches_use_their_own_cap() {
+        let q = JobQueue::new(1, 64);
+        for s in 0..20 {
+            q.push(job(0, AppKind::Walk, s)).map_err(|_| ()).unwrap();
+        }
+        for s in 0..5 {
+            q.push(job(0, AppKind::Bfs, s)).map_err(|_| ()).unwrap();
+        }
+        let limits = BatchLimits {
+            default_cap: 2,
+            walk_cap: 16,
+        };
+        // the walk run fuses up to walk_cap queries in one batch...
+        assert_eq!(q.pop_batch(0, limits).unwrap().len(), 16);
+        assert_eq!(q.pop_batch(0, limits).unwrap().len(), 4);
+        // ...while traversal batches still stop at default_cap
+        assert_eq!(q.pop_batch(0, limits).unwrap().len(), 2);
     }
 
     #[test]
@@ -274,7 +331,7 @@ mod tests {
         let q = JobQueue::new(2, 8);
         // cursor placement: first push lands on deque 0
         q.push(job(0, AppKind::Bfs, 1)).map_err(|_| ()).unwrap();
-        let batch = q.pop_batch(1, 4).unwrap();
+        let batch = q.pop_batch(1, BatchLimits::uniform(4)).unwrap();
         assert_eq!(batch.len(), 1, "worker 1 must steal worker 0's query");
     }
 
@@ -290,7 +347,9 @@ mod tests {
         })
         .join();
         // pops recover the structurally-intact contents
-        let batch = q.pop_batch(0, 4).expect("queued work survives poisoning");
+        let batch = q
+            .pop_batch(0, BatchLimits::uniform(4))
+            .expect("queued work survives poisoning");
         assert_eq!(batch.len(), 1);
         // and a push refuses gracefully, closing the queue
         assert!(q.push(job(0, AppKind::Bfs, 2)).is_err());
@@ -302,7 +361,7 @@ mod tests {
     fn close_wakes_and_drains() {
         let q = Arc::new(JobQueue::new(1, 8));
         let q2 = Arc::clone(&q);
-        let waiter = std::thread::spawn(move || q2.pop_batch(0, 4));
+        let waiter = std::thread::spawn(move || q2.pop_batch(0, BatchLimits::uniform(4)));
         q.push(job(0, AppKind::Cc, 0)).map_err(|_| ()).unwrap();
         assert!(waiter.join().unwrap().is_some());
         q.push(job(0, AppKind::Cc, 0)).map_err(|_| ()).unwrap();
@@ -312,8 +371,8 @@ mod tests {
             "closed queue rejects"
         );
         // shutdown still hands out queued work before returning None
-        assert!(q.pop_batch(0, 4).is_some());
-        assert!(q.pop_batch(0, 4).is_none());
+        assert!(q.pop_batch(0, BatchLimits::uniform(4)).is_some());
+        assert!(q.pop_batch(0, BatchLimits::uniform(4)).is_none());
         assert_eq!(q.drain().len(), 0);
     }
 }

@@ -23,6 +23,9 @@ pub enum AppKind {
     Sssp,
     /// Connected components (source-independent).
     Cc,
+    /// Random-walk batch from the query source (PPR endpoint distribution
+    /// or node2vec visit profile, per [`ServiceConfig::walk`]).
+    Walk,
 }
 
 impl AppKind {
@@ -35,6 +38,7 @@ impl AppKind {
             Self::Bc => "bc",
             Self::Sssp => "sssp",
             Self::Cc => "cc",
+            Self::Walk => "walk",
         }
     }
 
@@ -47,6 +51,7 @@ impl AppKind {
             "bc" => Some(Self::Bc),
             "sssp" => Some(Self::Sssp),
             "cc" => Some(Self::Cc),
+            "walk" => Some(Self::Walk),
             _ => None,
         }
     }
@@ -56,14 +61,15 @@ impl AppKind {
     /// shares one cache slot.
     #[must_use]
     pub fn uses_source(self) -> bool {
-        matches!(self, Self::Bfs | Self::Bc | Self::Sssp)
+        matches!(self, Self::Bfs | Self::Bc | Self::Sssp | Self::Walk)
     }
 
     /// Whether same-app requests with distinct sources can share one
-    /// frontier pipeline (multi-source execution).
+    /// frontier pipeline (multi-source execution). Walks batch without
+    /// bound: every fused query just adds lanes to the one walk kernel.
     #[must_use]
     pub fn supports_multi_source(self) -> bool {
-        matches!(self, Self::Bfs | Self::Sssp)
+        matches!(self, Self::Bfs | Self::Sssp | Self::Walk)
     }
 }
 
@@ -237,6 +243,78 @@ impl Ticket {
     }
 }
 
+/// Which walk application `Walk` queries run (a service-level policy,
+/// like `pr_iters` — the wire request only carries the source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkAppKind {
+    /// Monte-Carlo personalized PageRank: responses carry the normalized
+    /// endpoint distribution of the source's walkers.
+    Ppr,
+    /// node2vec second-order walks: responses carry the normalized visit
+    /// profile.
+    Node2vec,
+}
+
+impl WalkAppKind {
+    /// Short name used in reports and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Ppr => "ppr",
+            Self::Node2vec => "node2vec",
+        }
+    }
+
+    /// Parse a CLI/user-facing walk-app name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "ppr" => Some(Self::Ppr),
+            "node2vec" | "n2v" => Some(Self::Node2vec),
+            _ => None,
+        }
+    }
+}
+
+/// How the service runs `Walk` queries.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkPolicy {
+    /// Which walk application to run.
+    pub app: WalkAppKind,
+    /// Walkers launched per query source.
+    pub walks_per_source: usize,
+    /// Maximum walk length in steps.
+    pub length: usize,
+    /// PPR termination probability per step.
+    pub alpha: f64,
+    /// node2vec return parameter.
+    pub p: f64,
+    /// node2vec in-out parameter.
+    pub q: f64,
+    /// Deterministic RNG seed shared by every fused batch.
+    pub seed: u64,
+    /// Transition sampler.
+    pub sampler: sage::walk::SamplerKind,
+    /// Edge-weight model.
+    pub weights: sage::walk::WalkWeights,
+}
+
+impl Default for WalkPolicy {
+    fn default() -> Self {
+        Self {
+            app: WalkAppKind::Ppr,
+            walks_per_source: 256,
+            length: 32,
+            alpha: 0.15,
+            p: 1.0,
+            q: 1.0,
+            seed: 42,
+            sampler: sage::walk::SamplerKind::Its,
+            weights: sage::walk::WalkWeights::Uniform,
+        }
+    }
+}
+
 /// Service construction knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -247,9 +325,19 @@ pub struct ServiceConfig {
     /// Admission-queue capacity across all workers; submissions beyond it
     /// fail with [`ServiceError::Overloaded`].
     pub queue_capacity: usize,
-    /// Maximum queries fused into one execution batch (multi-source apps
-    /// are additionally capped at 64 sources by the frontier bitmask).
+    /// Maximum queries fused into one execution batch for traversal apps
+    /// (`Walk` queries use [`ServiceConfig::walk_batch`] instead).
     pub max_batch: usize,
+    /// Sources fused per multi-source frontier launch (BFS/SSSP). Clamped
+    /// to the frontier bitmask width of 64; the historical hardcoded value
+    /// is the default.
+    pub ms_source_cap: usize,
+    /// Maximum walk queries fused into one walk-kernel launch. Walks have
+    /// no bitmask constraint — every fused query just adds walker lanes —
+    /// so this defaults far above `max_batch`.
+    pub walk_batch: usize,
+    /// How `Walk` queries are executed.
+    pub walk: WalkPolicy,
     /// Sampling threshold for self-reordering; `None` uses the runtime
     /// default of |E| edge accesses.
     pub reorder_threshold: Option<u64>,
@@ -271,6 +359,9 @@ impl Default for ServiceConfig {
             device_config: DeviceConfig::default(),
             queue_capacity: 256,
             max_batch: 32,
+            ms_source_cap: 64,
+            walk_batch: 4096,
+            walk: WalkPolicy::default(),
             reorder_threshold: None,
             cache_capacity: 1024,
             pr_iters: 10,
@@ -288,6 +379,13 @@ impl ServiceConfig {
             device_config: DeviceConfig::test_tiny(),
             queue_capacity: 64,
             max_batch: 16,
+            ms_source_cap: 64,
+            walk_batch: 4096,
+            walk: WalkPolicy {
+                walks_per_source: 16,
+                length: 8,
+                ..WalkPolicy::default()
+            },
             reorder_threshold: Some(4_000),
             cache_capacity: 256,
             pr_iters: 5,
@@ -308,6 +406,7 @@ mod tests {
             AppKind::Bc,
             AppKind::Sssp,
             AppKind::Cc,
+            AppKind::Walk,
         ] {
             assert_eq!(AppKind::parse(kind.name()), Some(kind));
         }
@@ -316,10 +415,20 @@ mod tests {
     }
 
     #[test]
+    fn walk_app_kind_roundtrips_names() {
+        for kind in [WalkAppKind::Ppr, WalkAppKind::Node2vec] {
+            assert_eq!(WalkAppKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(WalkAppKind::parse("n2v"), Some(WalkAppKind::Node2vec));
+        assert_eq!(WalkAppKind::parse("bfs"), None);
+    }
+
+    #[test]
     fn source_independence_matches_multi_source_support() {
         assert!(AppKind::Bfs.uses_source() && AppKind::Bfs.supports_multi_source());
         assert!(AppKind::Sssp.uses_source() && AppKind::Sssp.supports_multi_source());
         assert!(AppKind::Bc.uses_source() && !AppKind::Bc.supports_multi_source());
+        assert!(AppKind::Walk.uses_source() && AppKind::Walk.supports_multi_source());
         assert!(!AppKind::Pr.uses_source());
         assert!(!AppKind::Cc.uses_source());
     }

@@ -6,10 +6,13 @@
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::msapp::{MsBfs, MsSssp, MAX_SOURCES};
-use crate::queue::{JobQueue, PendingQuery};
-use crate::types::{AppKind, GraphId, QueryResponse, ResultValues, ServiceConfig, ServiceError};
+use crate::queue::{BatchLimits, JobQueue, PendingQuery};
+use crate::types::{
+    AppKind, GraphId, QueryResponse, ResultValues, ServiceConfig, ServiceError, WalkAppKind,
+};
 use gpu_sim::{Device, Profiler};
 use sage::app::{Bc, Bfs, Cc, PageRank};
+use sage::walk::{Node2vec, Ppr, WalkApp, WalkSpec};
 use sage::{LatencyBreakdown, RunReport, SageRuntime};
 use sage_graph::{Csr, NodeId};
 use std::collections::HashMap;
@@ -93,7 +96,11 @@ impl Worker {
     /// Serve batches until the queue closes and drains.
     pub(crate) fn run(mut self) {
         let queue = Arc::clone(&self.queue);
-        while let Some(batch) = queue.pop_batch(self.id, self.cfg.max_batch) {
+        let limits = BatchLimits {
+            default_cap: self.cfg.max_batch,
+            walk_cap: self.cfg.walk_batch,
+        };
+        while let Some(batch) = queue.pop_batch(self.id, limits) {
             self.process_batch(batch);
             *self.slots.profile.lock().unwrap() = self.dev.profiler_snapshot();
             self.slots
@@ -249,9 +256,12 @@ fn execute(
         Some(agg) => agg.accumulate(&r),
         None => *report = Some(r),
     };
+    // config-driven fusion width for the bitmask-based multi-source apps,
+    // clamped to the frontier-bitmask width
+    let ms_cap = cfg.ms_source_cap.clamp(1, MAX_SOURCES);
     match app {
         AppKind::Bfs if sources.len() > 1 => {
-            for chunk in sources.chunks(MAX_SOURCES) {
+            for chunk in sources.chunks(ms_cap) {
                 let cur: Vec<NodeId> = chunk.iter().map(|&s| state.rt.current_id(s)).collect();
                 let mut ms = MsBfs::new(dev, &cur);
                 merge(state.rt.run(dev, &mut ms, chunk[0]), &mut report);
@@ -274,7 +284,7 @@ fn execute(
             // edge weights from original ids, so distances stay invariant
             // under the runtime's reordering
             let orig_of = state.rt.permutation().inverse().as_slice().to_vec();
-            for chunk in sources.chunks(MAX_SOURCES) {
+            for chunk in sources.chunks(ms_cap) {
                 let cur: Vec<NodeId> = chunk.iter().map(|&s| state.rt.current_id(s)).collect();
                 let mut ms = MsSssp::new(dev, &cur).with_weight_ids(orig_of.clone());
                 merge(state.rt.run(dev, &mut ms, chunk[0]), &mut report);
@@ -313,6 +323,29 @@ fn execute(
             values.push(Arc::new(ResultValues::Dists(canonical_labels(
                 &state.rt.to_original_order(cc.labels()),
             ))));
+        }
+        AppKind::Walk => {
+            // the fusion win: every distinct source in the batch becomes a
+            // block of walker lanes in ONE walk-kernel launch — no
+            // 64-source bitmask cap applies
+            let policy = &cfg.walk;
+            let spec = WalkSpec {
+                walks_per_source: policy.walks_per_source.max(1),
+                max_length: policy.length.max(1),
+                seed: policy.seed,
+                sampler: policy.sampler,
+                weights: policy.weights,
+            };
+            let walk_app: Box<dyn WalkApp> = match policy.app {
+                WalkAppKind::Ppr => Box::new(Ppr::new(policy.alpha)),
+                WalkAppKind::Node2vec => Box::new(Node2vec::new(policy.p, policy.q)),
+            };
+            let out = state.rt.run_walk(dev, walk_app.as_ref(), &spec, sources);
+            for slot in 0..sources.len() {
+                // terminal distribution (already in original-id space)
+                values.push(Arc::new(ResultValues::Scores(out.endpoint_scores(slot))));
+            }
+            merge(out.report, &mut report);
         }
     }
     (

@@ -1,0 +1,130 @@
+//! Serving random walks: fusion of many concurrent `Walk` queries into one
+//! launch, epoch-keyed caching of terminal distributions, and PPR sanity.
+
+use sage_graph::gen::uniform_graph;
+use sage_serve::{AppKind, QueryRequest, ResultValues, SageService, ServiceConfig, WalkAppKind};
+
+fn walk_req(graph: sage_serve::GraphId, source: u32) -> QueryRequest {
+    QueryRequest {
+        app: AppKind::Walk,
+        graph,
+        source,
+    }
+}
+
+#[test]
+fn hundreds_of_concurrent_walk_queries_fuse_into_one_launch() {
+    let mut cfg = ServiceConfig::test_config(1);
+    cfg.queue_capacity = 2048;
+    cfg.max_batch = 8; // traversal cap stays small...
+    cfg.walk_batch = 4096; // ...while walks fuse without that bound
+    cfg.reorder_threshold = Some(u64::MAX);
+    cfg.walk.walks_per_source = 4;
+    cfg.walk.length = 4;
+    let service = SageService::start(cfg);
+    let n = 400u32;
+    let g = service.register_graph("fuse", uniform_graph(n as usize, 4800, 3));
+
+    // occupy the single worker with one heavy PageRank run, then pile up
+    // walk queries behind it — they all fuse into the next walk batch
+    let busy = service
+        .submit(QueryRequest {
+            app: AppKind::Pr,
+            graph: g,
+            source: 0,
+        })
+        .unwrap();
+    let total = 300usize;
+    let tickets: Vec<_> = (0..total)
+        .map(|i| service.submit(walk_req(g, i as u32 % n)).unwrap())
+        .collect();
+    assert!(busy.wait().is_ok());
+
+    let mut max_batch = 0usize;
+    for t in tickets {
+        let resp = t.wait().expect("walk query must complete");
+        max_batch = max_batch.max(resp.batch_size);
+        match resp.values.as_ref() {
+            ResultValues::Scores(s) => assert_eq!(s.len(), n as usize),
+            other => panic!("walk returns Scores, got {other:?}"),
+        }
+    }
+    assert!(
+        max_batch >= 100,
+        "concurrent walk queries must fuse into large batches, saw {max_batch}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn walk_terminal_distributions_are_cached_per_epoch() {
+    let mut cfg = ServiceConfig::test_config(1);
+    cfg.reorder_threshold = Some(u64::MAX); // keep the epoch stable
+    cfg.walk.walks_per_source = 64;
+    cfg.walk.length = 16;
+    let service = SageService::start(cfg);
+    let g = service.register_graph("cache", uniform_graph(200, 2400, 9));
+
+    let first = service.query(walk_req(g, 17)).unwrap();
+    assert!(!first.cache_hit);
+    let repeat = service.query(walk_req(g, 17)).unwrap();
+    assert!(repeat.cache_hit, "same (source, epoch) must hit the cache");
+    assert_eq!(*repeat.values, *first.values);
+
+    // the distribution is normalized over the walkers that terminated
+    if let ResultValues::Scores(s) = first.values.as_ref() {
+        let sum: f32 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "terminal mass sums to 1: {sum}");
+    } else {
+        panic!("walk values must be Scores");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn ppr_walk_mass_concentrates_near_the_source() {
+    let mut cfg = ServiceConfig::test_config(1);
+    cfg.reorder_threshold = Some(u64::MAX);
+    cfg.walk.app = WalkAppKind::Ppr;
+    cfg.walk.alpha = 0.5; // short walks hug the source
+    cfg.walk.walks_per_source = 256;
+    cfg.walk.length = 32;
+    let service = SageService::start(cfg);
+    // a ring: mass must decay with ring distance from the source
+    let ring: Vec<(u32, u32)> = (0..64u32).map(|u| (u, (u + 1) % 64)).collect();
+    let g = service.register_graph("ring", sage_graph::Csr::from_edges(64, &ring));
+
+    let resp = service.query(walk_req(g, 0)).unwrap();
+    let ResultValues::Scores(s) = resp.values.as_ref() else {
+        panic!("walk values must be Scores");
+    };
+    assert!(
+        s[0] > s[8] && s[8] > s[32].max(1e-9),
+        "PPR mass must decay along the ring: {} {} {}",
+        s[0],
+        s[8],
+        s[32]
+    );
+    service.shutdown();
+}
+
+#[test]
+fn node2vec_policy_serves_visit_profiles() {
+    let mut cfg = ServiceConfig::test_config(1);
+    cfg.reorder_threshold = Some(u64::MAX);
+    cfg.walk.app = WalkAppKind::Node2vec;
+    cfg.walk.p = 2.0;
+    cfg.walk.q = 0.5;
+    cfg.walk.walks_per_source = 32;
+    cfg.walk.length = 8;
+    let service = SageService::start(cfg);
+    let g = service.register_graph("n2v", uniform_graph(150, 1800, 13));
+
+    let resp = service.query(walk_req(g, 3)).unwrap();
+    assert_eq!(resp.report.app, "node2vec");
+    let ResultValues::Scores(s) = resp.values.as_ref() else {
+        panic!("walk values must be Scores");
+    };
+    assert!(s.iter().any(|&x| x > 0.0));
+    service.shutdown();
+}
