@@ -70,4 +70,13 @@ test -s BENCH_walk.json || { echo "BENCH_walk.json missing"; exit 1; }
 echo "== serve_bench (writes BENCH_serve.json) =="
 cargo run --release -q -p sage-bench --bin serve_bench
 
+echo "== scale_bench smoke (replay-gate sweep at scale 14) =="
+# 1 vs 4 host threads on an R-MAT 2^14 graph: always enforces bitwise
+# determinism across thread counts; additionally fails on speedup_vs_1t
+# < 1.0 when the host has >= 4 cores to parallelise over (on smaller
+# hosts the sharded path cannot win wall-clock and is only recorded).
+cargo run --release -q -p sage-bench --bin scale_bench -- --smoke --out BENCH_scale_smoke.json
+test -s BENCH_scale_smoke.json || { echo "BENCH_scale_smoke.json missing"; exit 1; }
+rm -f BENCH_scale_smoke.json
+
 echo "CI OK"

@@ -11,6 +11,7 @@
 //! - `SAGE_SERVE_QUERIES`  cold-phase burst size (default 96, min 64)
 //! - `SAGE_SCALE`          graph scale factor (default 1.0)
 
+use sage_bench::validate_json;
 use sage_serve::{AppKind, QueryRequest, QueryResponse, SageService, ServiceConfig, Ticket};
 use std::time::Instant;
 
@@ -80,13 +81,18 @@ impl PhaseStats {
 
     fn json(&self) -> String {
         // sub-ms latencies need the full {:.6} precision: at {:.3} a 200 ns
-        // cache-hit percentile rounds to a flat 0.000
+        // cache-hit percentile rounds to a flat 0.000. An all-cache-hit
+        // phase traverses nothing: the gteps key is omitted entirely (not
+        // null) so key presence means "throughput was measured".
+        let gteps = self
+            .gteps()
+            .map_or_else(String::new, |g| format!("\"gteps\": {g:.4}, "));
         format!(
             "{{\"label\": \"{}\", \"queries\": {}, \"cache_hits\": {}, \
              \"cache_hit_rate\": {:.4}, \"wall_seconds\": {:.6}, \
              \"qps\": {:.1}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
              \"p99_ms\": {:.6}, \"mean_ms\": {:.6}, \"edges\": {}, \
-             \"sim_seconds\": {:.6}, \"gteps\": {}, \"max_batch\": {}, \
+             \"sim_seconds\": {:.6}, {gteps}\"max_batch\": {}, \
              \"truncated\": {}}}",
             self.label,
             self.queries,
@@ -100,8 +106,6 @@ impl PhaseStats {
             self.mean_ms,
             self.edges,
             self.sim_seconds,
-            self.gteps()
-                .map_or_else(|| "null".to_string(), |g| format!("{g:.4}")),
             self.max_batch_seen,
             self.truncated,
         )
@@ -262,6 +266,10 @@ fn main() {
         adapt.json(),
         warm.json(),
     );
+    if let Err(e) = validate_json(&json) {
+        eprintln!("emitted JSON does not parse: {e}");
+        std::process::exit(1);
+    }
     let out = "BENCH_serve.json";
     std::fs::write(out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");

@@ -21,7 +21,9 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod jsonv;
 pub mod table;
 
 pub use harness::{BenchConfig, Measurement};
+pub use jsonv::validate_json;
 pub use table::ExpTable;

@@ -157,6 +157,7 @@ impl SageService {
     /// queue is at capacity, [`ServiceError::ShuttingDown`] once the queue
     /// has closed (including after a worker panic poisoned it).
     pub fn submit(&self, mut request: QueryRequest) -> Result<Ticket, ServiceError> {
+        let admitted_at = Instant::now();
         let (nodes, epoch) = {
             let registry = self.registry.read().unwrap();
             let entry = registry
@@ -181,13 +182,21 @@ impl SageService {
             epoch,
         };
         if let Some(values) = self.cache.get(&key) {
+            // Even a synchronous hit took real time (registry lock, cache
+            // probe, value clone) — report it as queue latency so steady
+            // phase percentiles reflect the measured sub-microsecond cost
+            // instead of a flat zero.
+            let latency = LatencyBreakdown {
+                queue_seconds: admitted_at.elapsed().as_secs_f64(),
+                ..LatencyBreakdown::default()
+            };
             state.fulfill(Ok(QueryResponse {
                 request,
                 values,
                 cache_hit: true,
                 epoch,
                 batch_size: 1,
-                report: cache_hit_report(request.app, LatencyBreakdown::default()),
+                report: cache_hit_report(request.app, latency),
             }));
             return Ok(Ticket { state });
         }

@@ -117,6 +117,20 @@ impl SectorCache {
         Probe::LineMiss
     }
 
+    /// Probe a whole batch of sectors in order and return `(hits, misses)`
+    /// (both miss flavours folded together). Equivalent to calling
+    /// [`Self::access`] per sector; exists so replay can drain a contiguous
+    /// SoA run without branching on the per-probe outcome.
+    pub fn access_batch(&mut self, sector_ids: &[u64]) -> (u64, u64) {
+        let mut hits = 0u64;
+        for &s in sector_ids {
+            if self.access(s) == Probe::Hit {
+                hits += 1;
+            }
+        }
+        (hits, sector_ids.len() as u64 - hits)
+    }
+
     /// Invalidate everything (e.g. between independent runs).
     pub fn flush(&mut self) {
         self.tags.fill(INVALID_TAG);
@@ -334,6 +348,22 @@ mod tests {
         assert_eq!(c.stats(), (0, 0, 0));
         // contents survive a stats reset
         assert_eq!(c.access(0), Probe::Hit);
+    }
+
+    #[test]
+    fn access_batch_matches_sequential_probes() {
+        let stream: Vec<u64> = (0..200u64).map(|i| (i * 37) % 64).collect();
+        let mut a = cache(16, 4);
+        let mut b = cache(16, 4);
+        let mut hits = 0u64;
+        for &s in &stream {
+            if a.access(s) == Probe::Hit {
+                hits += 1;
+            }
+        }
+        let (bh, bm) = b.access_batch(&stream);
+        assert_eq!((bh, bm), (hits, stream.len() as u64 - hits));
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

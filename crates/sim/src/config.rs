@@ -145,6 +145,32 @@ pub struct DeviceConfig {
     /// device construction by the `SAGE_SANITIZE` environment variable;
     /// detection never changes simulated cycles or counters.
     pub sanitize: bool,
+
+    /// Probe-count threshold for the trace/replay backend: traced kernels
+    /// recording fewer probes than this replay inline on the calling thread
+    /// (spawning shard workers costs more than the replay itself), at or
+    /// above it they replay on SM-sharded workers. Overridable at device
+    /// construction by the `SAGE_REPLAY_GATE` environment variable and at
+    /// runtime via [`crate::device::Device::set_replay_gate`]; the setting
+    /// never changes simulated results, only host-side execution.
+    pub replay_gate: usize,
+
+    /// Simulated device-memory capacity in bytes. The allocator does not
+    /// enforce it (simulated arrays carry no data); placement policies use
+    /// it to decide whether a graph is uploaded to device memory or routed
+    /// through the out-of-core path.
+    pub memory_bytes: u64,
+}
+
+/// Shared defaults for fields used by more than one preset.
+mod defaults {
+    pub(super) fn replay_gate() -> usize {
+        8_192
+    }
+
+    pub(super) fn memory_bytes() -> u64 {
+        48 * 1024 * 1024 * 1024
+    }
 }
 
 impl Default for DeviceConfig {
@@ -188,6 +214,8 @@ impl DeviceConfig {
             pcie: PcieConfig::default(),
             peer: PeerLinkConfig::default(),
             sanitize: false,
+            replay_gate: defaults::replay_gate(),
+            memory_bytes: defaults::memory_bytes(),
         }
     }
 
@@ -248,6 +276,9 @@ impl DeviceConfig {
             pcie: PcieConfig::default(),
             peer: PeerLinkConfig::default(),
             sanitize: false,
+            replay_gate: defaults::replay_gate(),
+            // tiny device, tiny memory: placement tests can exceed it
+            memory_bytes: 4 * 1024 * 1024,
         }
     }
 
@@ -381,6 +412,14 @@ mod tests {
         };
         assert!(cc.sets(128) >= 1);
         assert!(cc.lines(128) >= cc.ways);
+    }
+
+    #[test]
+    fn replay_gate_and_memory_defaults() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.replay_gate, 8_192);
+        assert_eq!(c.memory_bytes, 48 * 1024 * 1024 * 1024);
+        assert!(DeviceConfig::test_tiny().memory_bytes < c.memory_bytes);
     }
 
     #[test]

@@ -4,8 +4,9 @@ use crate::cache::{Probe, SectorCache, SlicedCache};
 use crate::config::DeviceConfig;
 use crate::kernel::Kernel;
 use crate::mem::{Allocator, DeviceArray, MemSpace};
-use crate::profile::Profiler;
+use crate::profile::{Profiler, ReplayStats};
 use crate::sanitizer::{Hazard, HazardReport};
+use crate::trace::TraceArena;
 use std::collections::HashMap;
 
 /// Resolve the sanitizer switch: the `SAGE_SANITIZE` environment variable
@@ -20,6 +21,19 @@ pub fn default_sanitize(cfg_default: bool) -> bool {
         ),
         Err(_) => cfg_default,
     }
+}
+
+/// Resolve the parallel-replay gate: the `SAGE_REPLAY_GATE` environment
+/// variable overrides [`DeviceConfig::replay_gate`] when set to a parseable
+/// integer. Traced kernels recording fewer probes than the gate replay
+/// inline on the calling thread; at or above it they replay on SM-sharded
+/// workers. The setting never changes simulated results.
+#[must_use]
+pub fn default_replay_gate(cfg_default: usize) -> usize {
+    std::env::var("SAGE_REPLAY_GATE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(cfg_default)
 }
 
 /// Resolve the default host-thread count for kernel simulation:
@@ -56,6 +70,9 @@ pub struct Device {
     host_threads: usize,
     sanitize: bool,
     hazards: Vec<Hazard>,
+    replay_gate: usize,
+    trace_arena: TraceArena,
+    replay_stats: ReplayStats,
 }
 
 impl Device {
@@ -69,6 +86,7 @@ impl Device {
         let l2 = SlicedCache::new(cfg.l2.lines(cfg.line_bytes), cfg.l2.ways, spl);
         let host_threads = default_host_threads(cfg.num_sms);
         let sanitize = default_sanitize(cfg.sanitize);
+        let replay_gate = default_replay_gate(cfg.replay_gate);
         Self {
             device_alloc: Allocator::new(MemSpace::Device),
             host_alloc: Allocator::new(MemSpace::Host),
@@ -80,6 +98,9 @@ impl Device {
             host_threads,
             sanitize,
             hazards: Vec::new(),
+            replay_gate,
+            trace_arena: TraceArena::default(),
+            replay_stats: ReplayStats::default(),
             cfg,
         }
     }
@@ -132,6 +153,63 @@ impl Device {
     /// way the simulated results are bitwise identical.
     pub fn set_host_threads(&mut self, threads: usize) {
         self.host_threads = threads.clamp(1, self.cfg.num_sms.max(1));
+    }
+
+    /// Current inline-vs-sharded replay crossover, in recorded probes.
+    #[must_use]
+    pub fn replay_gate(&self) -> usize {
+        self.replay_gate
+    }
+
+    /// Tune the replay crossover for subsequent launches (floored at 1 so a
+    /// traced kernel with zero probes never spawns workers). Simulated
+    /// results are identical on either side of the gate — this only moves
+    /// where host wall-clock is spent.
+    pub fn set_replay_gate(&mut self, gate: usize) {
+        self.replay_gate = gate.max(1);
+    }
+
+    /// Host-side trace/replay telemetry accumulated since construction (or
+    /// the last [`Self::reset_profiler`]).
+    #[must_use]
+    pub fn replay_stats(&self) -> &ReplayStats {
+        &self.replay_stats
+    }
+
+    /// Whether `bytes` of graph data fit the simulated device memory next
+    /// to what is already allocated — the placement predicate out-of-core
+    /// routing uses.
+    #[must_use]
+    pub fn fits_device_memory(&self, bytes: u64) -> bool {
+        self.device_alloc.used_bytes().saturating_add(bytes) <= self.cfg.memory_bytes
+    }
+
+    /// Take the device's trace arena for one traced launch, sized for the
+    /// current SM and L2-slice geometry with every stream empty. Returned
+    /// via [`Self::return_trace_arena`] so grown capacity is reused.
+    pub(crate) fn take_trace_arena(&mut self) -> TraceArena {
+        let mut arena = std::mem::take(&mut self.trace_arena);
+        arena.reset(self.cfg.num_sms, self.l2.num_slices());
+        arena
+    }
+
+    /// Give the arena back after replay (capacity is retained).
+    pub(crate) fn return_trace_arena(&mut self, arena: TraceArena) {
+        self.trace_arena = arena;
+    }
+
+    /// Account one traced-kernel replay in [`Self::replay_stats`].
+    pub(crate) fn note_replay(&mut self, recorded: u64, l2: u64, parallel: bool, arena_bytes: u64) {
+        let s = &mut self.replay_stats;
+        s.traced_kernels += 1;
+        s.recorded_probes += recorded;
+        s.l2_probes += l2;
+        if parallel {
+            s.parallel_replays += 1;
+        } else {
+            s.inline_replays += 1;
+        }
+        s.arena_bytes = s.arena_bytes.max(arena_bytes);
     }
 
     /// A default-configured device (Quadro RTX 8000).
@@ -279,10 +357,12 @@ impl Device {
         self.profiler.clone()
     }
 
-    /// Clear profiler counters (including the per-kernel breakdown).
+    /// Clear profiler counters (including the per-kernel breakdown and the
+    /// trace/replay telemetry).
     pub fn reset_profiler(&mut self) {
         self.profiler = Profiler::default();
         self.kernel_times.clear();
+        self.replay_stats = ReplayStats::default();
     }
 
     /// Record peer-link traffic in the profiler (used by multi-GPU drivers).
@@ -367,6 +447,56 @@ mod tests {
         assert!(expand.2 > 0.0);
         d.reset_profiler();
         assert!(d.kernel_breakdown().is_empty());
+    }
+
+    #[test]
+    fn replay_gate_defaults_from_config_and_clamps() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.replay_gate = 77;
+        let mut d = Device::new(cfg);
+        // (holds unless SAGE_REPLAY_GATE is exported into the test env)
+        if std::env::var("SAGE_REPLAY_GATE").is_err() {
+            assert_eq!(d.replay_gate(), 77);
+        }
+        d.set_replay_gate(0);
+        assert_eq!(d.replay_gate(), 1);
+        d.set_replay_gate(123);
+        assert_eq!(d.replay_gate(), 123);
+    }
+
+    #[test]
+    fn traced_kernels_feed_replay_stats_and_reuse_arena() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        d.set_host_threads(4);
+        for _ in 0..2 {
+            let mut k = d.launch("traced");
+            for sm in 0..4 {
+                k.access_range(sm, AccessKind::Read, 4096 + sm as u64 * 4096, 256, 4);
+            }
+            let _ = k.finish();
+        }
+        let s = d.replay_stats().clone();
+        assert_eq!(s.traced_kernels, 2);
+        assert!(s.recorded_probes > 0);
+        assert!(s.l2_probes > 0);
+        assert!(s.arena_bytes > 0);
+        assert_eq!(s.parallel_replays + s.inline_replays, 2);
+        // sequential kernels bypass the trace path entirely
+        d.set_host_threads(1);
+        let _ = d.launch("seq").finish();
+        assert_eq!(d.replay_stats().traced_kernels, 2);
+        d.reset_profiler();
+        assert_eq!(d.replay_stats(), &crate::profile::ReplayStats::default());
+    }
+
+    #[test]
+    fn device_memory_placement_predicate() {
+        let mut d = Device::new(DeviceConfig::test_tiny());
+        let cap = d.cfg().memory_bytes;
+        assert!(d.fits_device_memory(cap));
+        assert!(!d.fits_device_memory(cap + 1));
+        let _held = d.alloc_array::<u32>(1024, 0); // 4 KiB now in use
+        assert!(!d.fits_device_memory(cap - 1024));
     }
 
     #[test]

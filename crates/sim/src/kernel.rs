@@ -31,14 +31,21 @@
 //! inline, in call order, against the shared hierarchy — the original
 //! sequential path. Above 1 the kernel switches to a **trace/replay**
 //! backend: event accounting still happens inline (it is cheap and
-//! cache-independent), but sector probes are recorded into per-SM streams
-//! stamped with a global sequence number and replayed at [`Kernel::finish`]
-//! in two parallel passes — per-SM private-L1 replay (each shard owns its
-//! SM's L1), then per-slice L2 replay in global probe order (each worker
-//! owns disjoint address-interleaved L2 slices, see
-//! [`crate::cache::SlicedCache`]). Shard counters merge in SM order, so
-//! cycles, profiler stats and cache states are bitwise identical to the
-//! sequential path.
+//! cache-independent), but sector probes are appended to compact
+//! struct-of-arrays per-SM streams (`crate::trace::TraceArena`) —
+//! the raw sector id plus a packed `seq << 1 | atomic` meta word — stamped
+//! with a global sequence number and replayed at [`Kernel::finish`] in two
+//! parallel passes: per-SM private-L1 replay (each shard owns its SM's L1,
+//! survivors land in per-`(SM, slice)` buckets already sorted by seq), then
+//! per-slice L2 replay that k-way-merges the buckets back into global probe
+//! order (each worker owns disjoint address-interleaved L2 slices, see
+//! [`crate::cache::SlicedCache`]). Stream storage lives in a per-device
+//! arena reused across launches, so steady-state recording never allocates.
+//! Shard counters merge in SM order, so cycles, profiler stats and cache
+//! states are bitwise identical to the sequential path. Kernels recording
+//! fewer probes than [`crate::device::Device::replay_gate`] replay inline on
+//! the calling thread — spawning shard workers would cost more than the
+//! replay itself.
 
 use crate::cache::{Probe, SectorCache};
 use crate::config::DeviceConfig;
@@ -46,44 +53,19 @@ use crate::device::Device;
 use crate::mem::is_host_addr;
 use crate::profile::Profiler;
 use crate::sanitizer::{HazardReport, ShadowTracker};
+use crate::trace::TraceArena;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
-/// Below this many recorded probes a traced kernel replays on the calling
-/// thread: spawning shard workers costs more than the replay itself.
-const PARALLEL_REPLAY_GATE: usize = 8_192;
-
-/// One recorded sector probe: `seq` is its position in the kernel's global
-/// probe order, `atomic` routes it straight to L2.
-#[derive(Debug, Clone, Copy)]
-struct TraceOp {
-    seq: u64,
-    sector: u64,
-    atomic: bool,
-}
-
-/// A probe that missed (or bypassed) L1 and is bound for an L2 slice.
-#[derive(Debug, Clone, Copy)]
-struct L2Probe {
-    seq: u64,
-    sector: u64,
-    sm: u32,
-}
-
-/// Recorded per-SM probe streams for deferred parallel replay.
+/// Probe streams of an in-flight traced kernel: the device's arena plus the
+/// global sequence counter stamping every recorded probe.
 #[derive(Debug)]
 struct TraceBuf {
-    per_sm: Vec<Vec<TraceOp>>,
+    arena: TraceArena,
     seq: u64,
     threads: usize,
-}
-
-/// Per-SM result of the L1 replay pass: the hit count plus the surviving
-/// probes bucketed by owning L2 slice.
-#[derive(Debug, Default)]
-struct ShardReplay {
-    l1_hits: u64,
-    slice_probes: Vec<Vec<L2Probe>>,
 }
 
 /// What a memory access does; writes also produce sector traffic
@@ -175,7 +157,7 @@ impl<'d> Kernel<'d> {
         let concurrency = dev.cfg().max_resident_warps as f64;
         let threads = dev.host_threads();
         let trace = (threads > 1).then(|| TraceBuf {
-            per_sm: vec![Vec::new(); sms],
+            arena: dev.take_trace_arena(),
             seq: 0,
             threads,
         });
@@ -331,11 +313,7 @@ impl<'d> Kernel<'d> {
             self.per_sm[sm].write_sectors += 1;
         }
         if let Some(t) = &mut self.trace {
-            t.per_sm[sm].push(TraceOp {
-                seq: t.seq,
-                sector: s,
-                atomic: false,
-            });
+            t.arena.record(sm, s, t.seq, false);
             t.seq += 1;
             return;
         }
@@ -458,11 +436,7 @@ impl<'d> Kernel<'d> {
         for i in 0..self.scratch_sectors.len() {
             let s = self.scratch_sectors[i];
             if let Some(t) = &mut self.trace {
-                t.per_sm[sm].push(TraceOp {
-                    seq: t.seq,
-                    sector: s,
-                    atomic: true,
-                });
+                t.arena.record(sm, s, t.seq, true);
                 t.seq += 1;
                 continue;
             }
@@ -694,127 +668,189 @@ fn chunk_len(total: usize, parts: usize) -> usize {
 /// Replay a traced kernel's probe streams against the cache hierarchy and
 /// fill the deferred `l1_hits` / `l2_hits` / `dram_sectors` counters.
 ///
-/// Pass 1 replays each SM's stream against that SM's private L1 — per-SM
+/// Pass 1 replays each SM's SoA stream against that SM's private L1 — per-SM
 /// program order is exactly the sequential probe order projected onto one
 /// SM, and L1 outcomes depend on nothing else. Misses (plus atomics, which
-/// bypass L1) are bucketed by owning L2 slice. Pass 2 replays each slice's
-/// probes in global sequence order — per-set LRU state only depends on the
-/// relative order of that set's probes, so the sliced replay reproduces the
-/// monolithic outcome probe for probe. Both passes run on `threads` scoped
-/// workers over disjoint cache shards; small kernels stay on the calling
+/// bypass L1) append to per-`(SM, slice)` arena buckets as slice-local
+/// sector ids; because the per-SM stream is in sequence order, every bucket
+/// comes out sorted by seq. Pass 2 replays each slice's probes in global
+/// sequence order by k-way-merging that slice's per-SM buckets (sequence
+/// stamps are globally unique, so the merge order is total) — per-set LRU
+/// state only depends on the relative order of that set's probes, so the
+/// sliced replay reproduces the monolithic outcome probe for probe. A slice
+/// fed by a single SM skips the merge and drains the run in one batched
+/// sweep. Both passes run on `threads` scoped workers over disjoint cache
+/// shards; kernels below [`Device::replay_gate`] stay on the calling
 /// thread. Counter merging is fixed-order u64 sums, so the result is
 /// independent of thread scheduling.
 fn replay_trace(dev: &mut Device, trace: TraceBuf, per_sm: &mut [SmCounters]) {
+    let TraceBuf {
+        mut arena, threads, ..
+    } = trace;
     let num_slices = dev.l2_ref().num_slices();
     let spl = u64::from(dev.cfg().sectors_per_line() as u32);
-    let total_ops: usize = trace.per_sm.iter().map(Vec::len).sum();
+    let total_ops = arena.total_ops();
     if total_ops == 0 {
+        dev.return_trace_arena(arena);
         return;
     }
-    let slice_of = |sector: u64| ((sector / spl) % num_slices as u64) as usize;
-    let workers = trace.threads.min(trace.per_sm.len()).max(1);
-    let parallel = workers > 1 && total_ops >= PARALLEL_REPLAY_GATE;
+    let sms = arena.rec_sectors.len();
+    let workers = threads.min(sms).max(1);
+    let parallel = workers > 1 && total_ops >= dev.replay_gate();
+    let k = num_slices as u64;
 
     // ---- pass 1: private L1 replay, one shard per SM ----
-    let sms = trace.per_sm.len();
-    let mut shards: Vec<ShardReplay> = (0..sms)
-        .map(|_| ShardReplay {
-            l1_hits: 0,
-            slice_probes: vec![Vec::new(); num_slices],
-        })
-        .collect();
-    let l1 = dev.l1_caches_mut();
-    let replay_one =
-        |cache: &mut SectorCache, sm: usize, ops: &[TraceOp], out: &mut ShardReplay| {
-            for op in ops {
-                if !op.atomic && cache.access(op.sector) == Probe::Hit {
-                    out.l1_hits += 1;
+    let mut l1_hits = vec![0u64; sms];
+    {
+        let l1 = dev.l1_caches_mut();
+        let replay_one = |cache: &mut SectorCache,
+                          sectors: &[u64],
+                          meta: &[u64],
+                          hits: &mut u64,
+                          bucket_local: &mut [Vec<u64>],
+                          bucket_seq: &mut [Vec<u64>]| {
+            for (&s, &m) in sectors.iter().zip(meta) {
+                if m & 1 == 0 && cache.access(s) == Probe::Hit {
+                    *hits += 1;
                     continue;
                 }
-                out.slice_probes[slice_of(op.sector)].push(L2Probe {
-                    seq: op.seq,
-                    sector: op.sector,
-                    sm: sm as u32,
-                });
+                let line = s / spl;
+                let slice = (line % k) as usize;
+                bucket_local[slice].push((line / k) * spl + s % spl);
+                bucket_seq[slice].push(m >> 1);
             }
         };
-    if parallel {
-        let chunk = chunk_len(sms, workers);
-        std::thread::scope(|scope| {
-            for (ci, ((l1_chunk, ops_chunk), out_chunk)) in l1
-                .chunks_mut(chunk)
-                .zip(trace.per_sm.chunks(chunk))
-                .zip(shards.chunks_mut(chunk))
-                .enumerate()
-            {
-                scope.spawn(move || {
-                    for (i, cache) in l1_chunk.iter_mut().enumerate() {
-                        replay_one(cache, ci * chunk + i, &ops_chunk[i], &mut out_chunk[i]);
-                    }
-                });
+        if parallel {
+            let chunk = chunk_len(sms, workers);
+            std::thread::scope(|scope| {
+                for ((((l1c, secc), metac), hitc), bucketc) in l1
+                    .chunks_mut(chunk)
+                    .zip(arena.rec_sectors.chunks(chunk))
+                    .zip(arena.rec_meta.chunks(chunk))
+                    .zip(l1_hits.chunks_mut(chunk))
+                    .zip(
+                        arena
+                            .l2_local
+                            .chunks_mut(chunk * num_slices)
+                            .zip(arena.l2_seq.chunks_mut(chunk * num_slices)),
+                    )
+                {
+                    scope.spawn(move || {
+                        let (locc, seqc) = bucketc;
+                        for (i, cache) in l1c.iter_mut().enumerate() {
+                            replay_one(
+                                cache,
+                                &secc[i],
+                                &metac[i],
+                                &mut hitc[i],
+                                &mut locc[i * num_slices..(i + 1) * num_slices],
+                                &mut seqc[i * num_slices..(i + 1) * num_slices],
+                            );
+                        }
+                    });
+                }
+            });
+        } else {
+            for (sm, cache) in l1.iter_mut().enumerate() {
+                replay_one(
+                    cache,
+                    &arena.rec_sectors[sm],
+                    &arena.rec_meta[sm],
+                    &mut l1_hits[sm],
+                    &mut arena.l2_local[sm * num_slices..(sm + 1) * num_slices],
+                    &mut arena.l2_seq[sm * num_slices..(sm + 1) * num_slices],
+                );
             }
-        });
-    } else {
-        for (sm, cache) in l1.iter_mut().enumerate() {
-            replay_one(cache, sm, &trace.per_sm[sm], &mut shards[sm]);
         }
     }
 
     // ---- pass 2: L2 replay, one worker chunk per group of slices ----
-    // Each slice gathers its probes from every shard, restores global probe
-    // order by the sequence stamp (unique, so the sort is a permutation with
-    // one fixed point set), and replays into its private slice cache.
-    let l2 = dev.l2_mut();
-    let mut slice_counts: Vec<Vec<(u64, u64)>> = vec![vec![(0, 0); sms]; num_slices];
-    let shards_ref = &shards;
-    let replay_slice = |cache: &mut SectorCache, slice: usize, counts: &mut Vec<(u64, u64)>| {
-        let mut probes: Vec<L2Probe> = shards_ref
-            .iter()
-            .flat_map(|s| s.slice_probes[slice].iter().copied())
-            .collect();
-        probes.sort_unstable_by_key(|p| p.seq);
-        let k = num_slices as u64;
-        for p in probes {
-            let line = p.sector / spl;
-            let local = (line / k) * spl + p.sector % spl;
-            let c = &mut counts[p.sm as usize];
-            if cache.access(local) == Probe::Hit {
-                c.0 += 1;
-            } else {
-                c.1 += 1;
+    let l2_probes = arena.l2_ops();
+    let mut slice_counts: Vec<(u64, u64)> = vec![(0, 0); num_slices * sms];
+    {
+        let l2 = dev.l2_mut();
+        let locals = &arena.l2_local;
+        let seqs = &arena.l2_seq;
+        let replay_slice = |cache: &mut SectorCache, slice: usize, counts: &mut [(u64, u64)]| {
+            let mut runs: Vec<(usize, &[u64], &[u64])> = Vec::with_capacity(sms);
+            for sm in 0..sms {
+                let b = sm * num_slices + slice;
+                if !seqs[b].is_empty() {
+                    runs.push((sm, &locals[b], &seqs[b]));
+                }
             }
-        }
-    };
-    let slices = l2.slices_mut();
-    if parallel {
-        let chunk = chunk_len(num_slices, workers);
-        std::thread::scope(|scope| {
-            for (ci, (slice_chunk, count_chunk)) in slices
-                .chunks_mut(chunk)
-                .zip(slice_counts.chunks_mut(chunk))
+            if let [(sm, local, _)] = runs[..] {
+                // single contributing SM: the run already is global order
+                let (h, m) = cache.access_batch(local);
+                counts[sm].0 += h;
+                counts[sm].1 += m;
+                return;
+            }
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = runs
+                .iter()
                 .enumerate()
-            {
-                scope.spawn(move || {
-                    for (i, cache) in slice_chunk.iter_mut().enumerate() {
-                        replay_slice(cache, ci * chunk + i, &mut count_chunk[i]);
-                    }
-                });
+                .map(|(ri, r)| Reverse((r.2[0], ri)))
+                .collect();
+            let mut cursor = vec![0usize; runs.len()];
+            while let Some(Reverse((_, ri))) = heap.pop() {
+                let (sm, local, seq) = runs[ri];
+                let i = cursor[ri];
+                let c = &mut counts[sm];
+                if cache.access(local[i]) == Probe::Hit {
+                    c.0 += 1;
+                } else {
+                    c.1 += 1;
+                }
+                cursor[ri] = i + 1;
+                if i + 1 < seq.len() {
+                    heap.push(Reverse((seq[i + 1], ri)));
+                }
             }
-        });
-    } else {
-        for (slice, cache) in slices.iter_mut().enumerate() {
-            replay_slice(cache, slice, &mut slice_counts[slice]);
+        };
+        let slices = l2.slices_mut();
+        if parallel {
+            let chunk = chunk_len(num_slices, workers);
+            std::thread::scope(|scope| {
+                for (ci, (slice_chunk, count_chunk)) in slices
+                    .chunks_mut(chunk)
+                    .zip(slice_counts.chunks_mut(chunk * sms))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        for (i, cache) in slice_chunk.iter_mut().enumerate() {
+                            replay_slice(
+                                cache,
+                                ci * chunk + i,
+                                &mut count_chunk[i * sms..(i + 1) * sms],
+                            );
+                        }
+                    });
+                }
+            });
+        } else {
+            for (slice, cache) in slices.iter_mut().enumerate() {
+                replay_slice(
+                    cache,
+                    slice,
+                    &mut slice_counts[slice * sms..(slice + 1) * sms],
+                );
+            }
         }
     }
 
     // ---- pass 3: merge in fixed SM-major order ----
     for (sm, c) in per_sm.iter_mut().enumerate() {
-        c.l1_hits += shards[sm].l1_hits;
-        for counts in &slice_counts {
-            c.l2_hits += counts[sm].0;
-            c.dram_sectors += counts[sm].1;
+        c.l1_hits += l1_hits[sm];
+        for slice in 0..num_slices {
+            let (h, m) = slice_counts[slice * sms + sm];
+            c.l2_hits += h;
+            c.dram_sectors += m;
         }
     }
+
+    let arena_bytes = arena.reserved_bytes();
+    dev.note_replay(total_ops as u64, l2_probes, parallel, arena_bytes);
+    dev.return_trace_arena(arena);
 }
 
 #[cfg(test)]

@@ -47,15 +47,16 @@ pub mod pcie;
 pub mod profile;
 pub mod sanitizer;
 pub mod tile;
+mod trace;
 
 pub use cache::{Probe, SectorCache, SlicedCache};
 pub use config::{CacheConfig, CpuConfig, DeviceConfig, PcieConfig, PeerLinkConfig};
 pub use cpu::Cpu;
-pub use device::{default_host_threads, default_sanitize, Device};
+pub use device::{default_host_threads, default_replay_gate, default_sanitize, Device};
 pub use host::{PoolAccess, UmPool};
 pub use kernel::{AccessKind, Kernel, KernelReport, SmShard};
 pub use mem::{Allocator, DeviceArray, MemSpace};
 pub use multi::{device_pool, DeviceGroup};
-pub use profile::Profiler;
+pub use profile::{Profiler, ReplayStats};
 pub use sanitizer::{Hazard, HazardKind, HazardParty, HazardReport};
 pub use tile::Tile;

@@ -106,6 +106,65 @@ impl Profiler {
     }
 }
 
+/// Host-side telemetry of the trace/replay backend, kept separate from
+/// [`Profiler`] on purpose: profiler counters describe the *simulated*
+/// machine and are compared bitwise across configurations, while these
+/// describe how the simulation itself executed on the host.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayStats {
+    /// Kernels that went through the trace/replay backend.
+    pub traced_kernels: u64,
+    /// Sector probes recorded into the SoA streams across traced kernels.
+    pub recorded_probes: u64,
+    /// Probes that survived L1 replay and were merged into L2 slices.
+    pub l2_probes: u64,
+    /// Traced kernels replayed on SM-sharded workers (probe count at or
+    /// above the replay gate).
+    pub parallel_replays: u64,
+    /// Traced kernels replayed inline on the calling thread (below gate).
+    pub inline_replays: u64,
+    /// High-water mark of arena capacity across launches, in bytes — the
+    /// steady-state memory bought in exchange for allocation-free recording.
+    pub arena_bytes: u64,
+}
+
+impl ReplayStats {
+    /// Mean recorded probes per traced kernel (0 when none ran).
+    #[must_use]
+    pub fn probes_per_kernel(&self) -> f64 {
+        if self.traced_kernels == 0 {
+            0.0
+        } else {
+            self.recorded_probes as f64 / self.traced_kernels as f64
+        }
+    }
+
+    /// Fraction of recorded probes absorbed by private L1s during replay.
+    #[must_use]
+    pub fn l1_absorption(&self) -> f64 {
+        if self.recorded_probes == 0 {
+            0.0
+        } else {
+            1.0 - self.l2_probes as f64 / self.recorded_probes as f64
+        }
+    }
+}
+
+impl fmt::Display for ReplayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "traced kernels: {} ({} sharded / {} inline), probes: {} ({:.1}% L1-absorbed), arena: {} KiB",
+            self.traced_kernels,
+            self.parallel_replays,
+            self.inline_replays,
+            self.recorded_probes,
+            self.l1_absorption() * 100.0,
+            self.arena_bytes / 1024,
+        )
+    }
+}
+
 impl fmt::Display for Profiler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "kernels:          {}", self.kernels)?;
@@ -193,5 +252,23 @@ mod tests {
         let p = Profiler::default();
         let s = format!("{p}");
         assert!(s.contains("kernels"));
+    }
+
+    #[test]
+    fn replay_stats_ratios() {
+        let r = ReplayStats::default();
+        assert_eq!(r.probes_per_kernel(), 0.0);
+        assert_eq!(r.l1_absorption(), 0.0);
+        let r = ReplayStats {
+            traced_kernels: 2,
+            recorded_probes: 100,
+            l2_probes: 25,
+            parallel_replays: 1,
+            inline_replays: 1,
+            arena_bytes: 4096,
+        };
+        assert!((r.probes_per_kernel() - 50.0).abs() < 1e-12);
+        assert!((r.l1_absorption() - 0.75).abs() < 1e-12);
+        assert!(format!("{r}").contains("arena"));
     }
 }

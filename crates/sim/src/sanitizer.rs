@@ -160,22 +160,73 @@ struct WordState {
     read2: Option<Access>,
 }
 
+/// Shadow words per page: engines touch state arrays in dense index ranges,
+/// so neighbouring words almost always live in the same kernel. Paging the
+/// shadow map trades one hash probe per 64 words (256 bytes of address
+/// space) for the per-word probe of a flat map — the dominant sanitizer
+/// cost on range accesses.
+const PAGE_WORDS: u64 = 64;
+
+/// First detected conflict per shadow word: kind plus the two parties.
+type FlaggedMap = HashMap<u64, (HazardKind, HazardParty, HazardParty)>;
+
+/// Per-word conflict handler applied by [`ShadowTracker::for_span`].
+type WordOp = fn(&mut WordState, &mut FlaggedMap, Access, u64);
+
 /// The per-kernel shadow tracker. Owned by a [`crate::kernel::Kernel`] when
 /// sanitizing is on; its lifecycle is one launch (the launch boundary orders
 /// everything, so state never carries across kernels).
 #[derive(Debug)]
 pub(crate) struct ShadowTracker {
-    words: HashMap<u64, WordState>,
+    /// Paged shadow memory: page id → [`PAGE_WORDS`] word states. Pages
+    /// materialise on first touch; a dense access range costs one hash
+    /// lookup per page instead of one per word.
+    pages: HashMap<u64, Box<[WordState]>>,
     /// First detected conflict per word — later conflicts on the same word
     /// are suppressed so each racy word is reported exactly once.
-    flagged: HashMap<u64, (HazardKind, HazardParty, HazardParty)>,
+    flagged: FlaggedMap,
     epochs: Vec<u32>,
+}
+
+fn read_word(st: &mut WordState, flagged: &mut FlaggedMap, cur: Access, w: u64) {
+    let conflict = st.write.filter(|wr| wr.sm != cur.sm);
+    match st.read1 {
+        Some(r1) if r1.sm != cur.sm => st.read2 = Some(r1),
+        _ => {}
+    }
+    st.read1 = Some(cur);
+    if let Some(wr) = conflict {
+        flagged
+            .entry(w)
+            .or_insert((HazardKind::ReadWrite, wr.party(), cur.party()));
+    }
+}
+
+fn write_word(st: &mut WordState, flagged: &mut FlaggedMap, cur: Access, w: u64) {
+    // Prefer the stronger write-write pairing when both exist.
+    let mut conflict = st
+        .write
+        .filter(|wr| wr.sm != cur.sm)
+        .map(|wr| (HazardKind::WriteWrite, wr));
+    if conflict.is_none() {
+        conflict = [st.read1, st.read2]
+            .into_iter()
+            .flatten()
+            .find(|r| r.sm != cur.sm)
+            .map(|r| (HazardKind::ReadWrite, r));
+    }
+    st.write = Some(cur);
+    if let Some((kind, first)) = conflict {
+        flagged
+            .entry(w)
+            .or_insert((kind, first.party(), cur.party()));
+    }
 }
 
 impl ShadowTracker {
     pub(crate) fn new(num_sms: usize) -> Self {
         Self {
-            words: HashMap::new(),
+            pages: HashMap::new(),
             flagged: HashMap::new(),
             epochs: vec![0; num_sms.max(1)],
         }
@@ -192,53 +243,36 @@ impl ShadowTracker {
     /// Record a non-atomic read of `bytes` bytes starting at `addr`.
     pub(crate) fn read(&mut self, sm: usize, addr: u64, bytes: u64) {
         let cur = self.current(sm);
-        for w in word_span(addr, bytes) {
-            self.read_word(cur, w);
-        }
+        self.for_span(addr, bytes, cur, read_word);
     }
 
     /// Record a non-atomic write of `bytes` bytes starting at `addr`.
     pub(crate) fn write(&mut self, sm: usize, addr: u64, bytes: u64) {
         let cur = self.current(sm);
-        for w in word_span(addr, bytes) {
-            self.write_word(cur, w);
-        }
+        self.for_span(addr, bytes, cur, write_word);
     }
 
-    fn read_word(&mut self, cur: Access, w: u64) {
-        let st = self.words.entry(w).or_default();
-        let conflict = st.write.filter(|wr| wr.sm != cur.sm);
-        match st.read1 {
-            Some(r1) if r1.sm != cur.sm => st.read2 = Some(r1),
-            _ => {}
-        }
-        st.read1 = Some(cur);
-        if let Some(wr) = conflict {
-            self.flagged
-                .entry(w)
-                .or_insert((HazardKind::ReadWrite, wr.party(), cur.party()));
-        }
-    }
-
-    fn write_word(&mut self, cur: Access, w: u64) {
-        let st = self.words.entry(w).or_default();
-        // Prefer the stronger write-write pairing when both exist.
-        let mut conflict = st
-            .write
-            .filter(|wr| wr.sm != cur.sm)
-            .map(|wr| (HazardKind::WriteWrite, wr));
-        if conflict.is_none() {
-            conflict = [st.read1, st.read2]
-                .into_iter()
-                .flatten()
-                .find(|r| r.sm != cur.sm)
-                .map(|r| (HazardKind::ReadWrite, r));
-        }
-        st.write = Some(cur);
-        if let Some((kind, first)) = conflict {
-            self.flagged
-                .entry(w)
-                .or_insert((kind, first.party(), cur.party()));
+    /// Apply `op` to every shadow word the access covers, fetching each
+    /// touched page exactly once.
+    fn for_span(&mut self, addr: u64, bytes: u64, cur: Access, op: WordOp) {
+        let (lo, hi) = word_bounds(addr, bytes);
+        let mut w = lo;
+        while w <= hi {
+            let page_id = w / PAGE_WORDS;
+            let end = ((page_id + 1) * PAGE_WORDS - 1).min(hi);
+            let page = self
+                .pages
+                .entry(page_id)
+                .or_insert_with(|| vec![WordState::default(); PAGE_WORDS as usize].into());
+            for i in w..=end {
+                op(
+                    &mut page[(i % PAGE_WORDS) as usize],
+                    &mut self.flagged,
+                    cur,
+                    i,
+                );
+            }
+            w = end + 1;
         }
     }
 
@@ -253,7 +287,7 @@ impl ShadowTracker {
     /// every access after it, so all pairing state resets. Already-flagged
     /// hazards stay flagged.
     pub(crate) fn grid_barrier(&mut self) {
-        self.words.clear();
+        self.pages.clear();
     }
 
     /// Consume the tracker: sort flagged words by address and merge runs of
@@ -288,11 +322,11 @@ impl ShadowTracker {
     }
 }
 
-/// The shadow words covered by `bytes` bytes at `addr`.
-fn word_span(addr: u64, bytes: u64) -> std::ops::RangeInclusive<u64> {
+/// First and last shadow word covered by `bytes` bytes at `addr`.
+fn word_bounds(addr: u64, bytes: u64) -> (u64, u64) {
     let lo = addr / SHADOW_WORD_BYTES;
     let hi = (addr + bytes.max(1) - 1) / SHADOW_WORD_BYTES;
-    lo..=hi
+    (lo, hi)
 }
 
 /// Launch a deliberately racy fixture kernel on `dev`: two SMs store to the
@@ -433,6 +467,18 @@ mod tests {
         assert_eq!(hz.len(), 2);
         assert_eq!(hz[0].addr_lo, 64);
         assert_eq!(hz[1].addr_lo, 256);
+    }
+
+    #[test]
+    fn conflicts_spanning_a_page_boundary_merge_into_one_range() {
+        // Words 62..=65 straddle the page 0 / page 1 boundary (64 words per
+        // page); the paged map must still produce one contiguous hazard.
+        let mut t = ShadowTracker::new(4);
+        t.write(0, 248, 16);
+        t.write(1, 248, 16);
+        let hz = hazards(t);
+        assert_eq!(hz.len(), 1);
+        assert_eq!((hz[0].addr_lo, hz[0].addr_hi), (248, 264));
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Arena-backed struct-of-arrays probe streams for the trace/replay backend.
+//!
+//! The first trace/replay implementation recorded probes as
+//! `Vec<Vec<TraceOp>>` (24-byte structs) and bucketed L2 survivors through
+//! per-probe `Vec<L2Probe>` pushes followed by a full sort per slice — at
+//! million-node scale the per-event allocation and shuffle cost swamped the
+//! algorithmic work and made 4 host threads *slower* than one. This module
+//! replaces that with flat SoA streams owned by a per-device arena:
+//!
+//! * **Recording** appends each probe to two parallel per-SM vectors — the
+//!   raw sector id and a packed meta word `seq << 1 | atomic` (16 bytes per
+//!   probe, no padding, no per-probe branches beyond the push). The SM index
+//!   is implicit in which stream the probe lands in.
+//! * **L1 replay** drains each SM's stream and appends the survivors
+//!   (L1 misses plus atomics) to per-`(SM, slice)` buckets, already
+//!   translated to slice-local sector ids. Because per-SM streams are in
+//!   sequence order, every bucket comes out *sorted by seq for free* —
+//!   L2 replay k-way merges the buckets instead of sorting.
+//! * **Arena reuse**: the device owns one [`TraceArena`]; a kernel takes it
+//!   at launch and returns it at finish, so after the first large kernel no
+//!   stream ever reallocates — steady-state recording is pure appends into
+//!   warm capacity.
+
+/// Reusable SoA probe-stream storage. One per [`crate::device::Device`];
+/// taken by a traced kernel for the duration of a launch.
+#[derive(Debug, Default)]
+pub(crate) struct TraceArena {
+    /// Per-SM recorded sector ids, in per-SM program order.
+    pub(crate) rec_sectors: Vec<Vec<u64>>,
+    /// Per-SM packed meta words: `seq << 1 | atomic_flag`, parallel to
+    /// [`Self::rec_sectors`].
+    pub(crate) rec_meta: Vec<Vec<u64>>,
+    /// Per-`(SM, slice)` slice-local sector ids of probes bound for L2,
+    /// indexed `sm * num_slices + slice`. Filled by L1 replay.
+    pub(crate) l2_local: Vec<Vec<u64>>,
+    /// Sequence stamps parallel to [`Self::l2_local`]; each bucket is
+    /// sorted ascending by construction (per-SM streams are seq-ordered).
+    pub(crate) l2_seq: Vec<Vec<u64>>,
+}
+
+impl TraceArena {
+    /// Size the stream tables for `sms` SMs and `slices` L2 slices and
+    /// truncate every stream to length zero. Capacity grown by earlier
+    /// launches is retained — this is what makes the arena an arena.
+    pub(crate) fn reset(&mut self, sms: usize, slices: usize) {
+        self.rec_sectors.resize_with(sms, Vec::new);
+        self.rec_meta.resize_with(sms, Vec::new);
+        self.l2_local.resize_with(sms * slices, Vec::new);
+        self.l2_seq.resize_with(sms * slices, Vec::new);
+        for v in &mut self.rec_sectors {
+            v.clear();
+        }
+        for v in &mut self.rec_meta {
+            v.clear();
+        }
+        for v in &mut self.l2_local {
+            v.clear();
+        }
+        for v in &mut self.l2_seq {
+            v.clear();
+        }
+    }
+
+    /// Append one probe to `sm`'s recording stream.
+    #[inline]
+    pub(crate) fn record(&mut self, sm: usize, sector: u64, seq: u64, atomic: bool) {
+        self.rec_sectors[sm].push(sector);
+        self.rec_meta[sm].push((seq << 1) | u64::from(atomic));
+    }
+
+    /// Total probes recorded across SMs.
+    pub(crate) fn total_ops(&self) -> usize {
+        self.rec_sectors.iter().map(Vec::len).sum()
+    }
+
+    /// Total probes currently sitting in the L2 survivor buckets.
+    pub(crate) fn l2_ops(&self) -> u64 {
+        self.l2_seq.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Bytes of capacity the arena holds across all streams (telemetry:
+    /// the steady-state footprint bought in exchange for allocation-free
+    /// recording).
+    pub(crate) fn reserved_bytes(&self) -> u64 {
+        let words: usize = self
+            .rec_sectors
+            .iter()
+            .chain(&self.rec_meta)
+            .chain(&self.l2_local)
+            .chain(&self.l2_seq)
+            .map(Vec::capacity)
+            .sum();
+        (words * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_sizes_tables_and_keeps_capacity() {
+        let mut a = TraceArena::default();
+        a.reset(4, 2);
+        assert_eq!(a.rec_sectors.len(), 4);
+        assert_eq!(a.l2_local.len(), 8);
+        for i in 0..100 {
+            a.record(1, i, i, false);
+        }
+        assert_eq!(a.total_ops(), 100);
+        let cap = a.rec_sectors[1].capacity();
+        assert!(cap >= 100);
+        a.reset(4, 2);
+        assert_eq!(a.total_ops(), 0);
+        assert_eq!(a.rec_sectors[1].capacity(), cap, "capacity must survive");
+        assert!(a.reserved_bytes() >= 100 * 16);
+    }
+
+    #[test]
+    fn meta_word_packs_seq_and_atomic() {
+        let mut a = TraceArena::default();
+        a.reset(1, 1);
+        a.record(0, 7, 42, false);
+        a.record(0, 9, 43, true);
+        assert_eq!(a.rec_meta[0][0], 42 << 1);
+        assert_eq!(a.rec_meta[0][1], (43 << 1) | 1);
+        assert_eq!(a.rec_sectors[0], vec![7, 9]);
+    }
+
+    #[test]
+    fn reset_grows_for_bigger_geometry() {
+        let mut a = TraceArena::default();
+        a.reset(2, 1);
+        a.reset(8, 4);
+        assert_eq!(a.rec_sectors.len(), 8);
+        assert_eq!(a.l2_seq.len(), 32);
+        assert_eq!(a.l2_ops(), 0);
+    }
+}

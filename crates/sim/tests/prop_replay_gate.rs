@@ -1,0 +1,87 @@
+//! Property test for the replay-gate boundary: the gate decides only *how*
+//! a traced kernel replays (inline on the calling thread vs SM-sharded
+//! workers), never *what* it computes. Kernels sized exactly at `gate - 1`,
+//! `gate`, and `gate + 1` recorded probes must produce bitwise-identical
+//! simulated results against the sequential direct path, and forcing the
+//! decision either way must change nothing.
+
+use gpu_sim::{AccessKind, Device, DeviceConfig, Profiler, ReplayStats};
+use proptest::prelude::*;
+
+/// One full simulated observation of a kernel: every number the gate could
+/// conceivably perturb.
+#[derive(Debug, Clone, PartialEq)]
+struct Observation {
+    seconds_bits: u64,
+    cycles_bits: u64,
+    profiler: Profiler,
+}
+
+/// Run a kernel that records exactly `probes` sector probes (one per
+/// element access, each to a distinct sector), spread round-robin over four
+/// SMs with every fifth access an atomic.
+fn run(probes: usize, threads: usize, gate: usize) -> (Observation, ReplayStats) {
+    let mut dev = Device::new(DeviceConfig::test_tiny());
+    dev.set_host_threads(threads);
+    dev.set_replay_gate(gate);
+    let sector = dev.cfg().sector_bytes;
+    let arr = dev.alloc_array::<u8>(probes * sector + 1, 0);
+    let mut k = dev.launch("gate_probe");
+    for i in 0..probes {
+        let sm = i % 4;
+        let addr = arr.addr(i * sector);
+        if i % 5 == 0 {
+            k.atomic(sm, &[addr]);
+        } else {
+            k.access(sm, AccessKind::Read, &[addr], 4);
+        }
+    }
+    let report = k.finish();
+    (
+        Observation {
+            seconds_bits: report.seconds.to_bits(),
+            cycles_bits: dev.profiler().cycles.to_bits(),
+            profiler: dev.profiler().clone(),
+        },
+        dev.replay_stats().clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gate_boundary_is_bitwise_invisible(gate in 16usize..96) {
+        // The sequential direct path is ground truth; the traced path must
+        // match it exactly at one probe below the gate (inline replay), at
+        // the gate (first sharded size), and one above.
+        for probes in [gate - 1, gate, gate + 1] {
+            let (direct, _) = run(probes, 1, gate);
+            let (traced, stats) = run(probes, 4, gate);
+            prop_assert_eq!(
+                &direct, &traced,
+                "probes={} gate={} diverged from the direct path", probes, gate
+            );
+            // the gate routed the replay where it should have
+            if probes >= gate {
+                prop_assert_eq!(stats.parallel_replays, 1);
+                prop_assert_eq!(stats.inline_replays, 0);
+            } else {
+                prop_assert_eq!(stats.parallel_replays, 0);
+                prop_assert_eq!(stats.inline_replays, 1);
+            }
+            prop_assert_eq!(stats.recorded_probes, probes as u64);
+        }
+    }
+
+    #[test]
+    fn forced_inline_and_forced_sharded_agree(probes in 1usize..200) {
+        // Pin the same workload to both sides of the gate: usize::MAX forces
+        // inline replay, 1 forces sharded replay. Identical observations.
+        let (inline_obs, inline_stats) = run(probes, 4, usize::MAX);
+        let (sharded_obs, sharded_stats) = run(probes, 4, 1);
+        prop_assert_eq!(&inline_obs, &sharded_obs);
+        prop_assert_eq!(inline_stats.inline_replays, 1);
+        prop_assert_eq!(sharded_stats.parallel_replays, 1);
+    }
+}
