@@ -34,6 +34,22 @@ for app in bfs cc pr; do
     "$app" --dataset brain --scale 0.05 --engine subway --out-of-core --threads 4 > /dev/null
 done
 
+echo "== race sanitizer: matrix/SpMV pipeline hazard-free =="
+# the tensor-core SpMV direction: matrix-forced and adaptive-3-way runs on
+# the dedicated spmv engine plus the default engine, sanitized, 1 and 4
+# host threads — any cross-SM hazard exits 1
+for eng in spmv sage; do
+  for app in bfs cc pr; do
+    for t in 1 4; do
+      SAGE_SANITIZE=1 cargo run --release -q -p sage-bench --bin sage_cli -- \
+        "$app" --dataset brain --scale 0.05 --engine "$eng" --mode matrix \
+        --threads "$t" > /dev/null
+    done
+  done
+  SAGE_SANITIZE=1 cargo run --release -q -p sage-bench --bin sage_cli -- \
+    bfs --dataset brain --scale 0.05 --engine "$eng" --mode adaptive --threads 4 > /dev/null
+done
+
 echo "== race sanitizer: walk kernels hazard-free for both apps and samplers =="
 for app in ppr node2vec; do
   for sampler in its alias; do
@@ -46,7 +62,9 @@ for app in ppr node2vec; do
 done
 
 echo "== determinism (release): parallel simulation == sequential, bit for bit =="
+# covers push-only, adaptive-3-way, and matrix-forced pipelines
 cargo test --release -q -p sage --test prop_determinism
+cargo test --release -q -p sage --test prop_direction
 cargo test --release -q -p sage --test prop_walk
 cargo test --release -q -p gpu-sim kernel::
 

@@ -3,18 +3,26 @@
 //! ```text
 //! sage_cli <app> [--graph FILE | --dataset NAME] [--engine NAME]
 //!          [--source N] [--scale F] [--repeat N] [--out-of-core] [--profile]
-//!          [--push-only] [--threads N] [--sanitize]
+//!          [--mode push|adaptive|matrix] [--push-only] [--threads N] [--sanitize]
 //!
 //!   app       bfs | bc | pr | cc | sssp | mis | kcore | walk | serve
 //!   --graph   edge-list file ("u v" per line, # comments) or .sagecsr binary
 //!   --dataset uk-2002 | brain | ljournal | twitter | friendster
-//!   --engine  sage (default) | sage-tp | naive | b40c | tigr | gunrock | ligra
+//!   --engine  sage (default) | sage-tp | naive | spmv | b40c | tigr |
+//!             gunrock | ligra
 //!   --source  source node id (default 0)
 //!   --scale   dataset scale when --dataset is used (default 0.2)
 //!   --repeat  runs to average (default 1; resident tiles warm up across runs)
 //!   --out-of-core  place the graph in host memory behind PCIe
 //!   --profile print Nsight-style counters after the run
-//!   --push-only disable the adaptive direction optimizer (always push)
+//!   --mode    direction policy (default adaptive). `adaptive` is the
+//!             three-way push / pull / matrix optimizer; the per-iteration
+//!             trace letters are `>` push, `<` pull, `M` matrix (masked
+//!             SpMV on the tensor units). `push` pins every iteration to
+//!             push; `matrix` forces the SpMV formulation whenever the
+//!             engine and graph allow it (falling back to push otherwise).
+//!             Every mode produces bitwise-identical application output.
+//!   --push-only shorthand for --mode push (kept for compatibility)
 //!   --threads host threads for the SM-sharded simulation. Precedence:
 //!             this flag > the SAGE_HOST_THREADS environment variable > all
 //!             available cores; always clamped to the device's SM count.
@@ -54,8 +62,8 @@
 use gpu_sim::Device;
 use sage::app::{App, Bc, Bfs, Cc, KCore, Mis, PageRank, Sssp};
 use sage::engine::{
-    B40cEngine, Engine, GunrockEngine, LigraEngine, NaiveEngine, ResidentEngine, SubwayEngine,
-    TigrEngine, TiledPartitioningEngine,
+    B40cEngine, Engine, GunrockEngine, LigraEngine, NaiveEngine, ResidentEngine, SpmvEngine,
+    SubwayEngine, TigrEngine, TiledPartitioningEngine,
 };
 use sage::{DeviceGraph, Runner};
 use sage_graph::datasets::Dataset;
@@ -73,7 +81,7 @@ struct Args {
     repeat: usize,
     out_of_core: bool,
     profile: bool,
-    push_only: bool,
+    mode: String,
     threads: Option<usize>,
     sanitize: bool,
     devices: usize,
@@ -91,8 +99,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sage_cli <bfs|bc|pr|cc|sssp|mis|kcore> [--graph FILE | --dataset NAME] \
-         [--engine sage|sage-tp|naive|b40c|tigr|gunrock|ligra] [--source N] \
-         [--scale F] [--repeat N] [--out-of-core] [--profile] [--push-only] [--threads N] \
+         [--engine sage|sage-tp|naive|spmv|b40c|tigr|gunrock|ligra] [--source N] \
+         [--scale F] [--repeat N] [--out-of-core] [--profile] \
+         [--mode push|adaptive|matrix] [--push-only] [--threads N] \
          [--sanitize]\n\
          \x20      sage_cli serve [--graph FILE | --dataset NAME] [--devices N] [--requests N] \
          [--sanitize]\n\
@@ -124,7 +133,7 @@ fn parse_args() -> Args {
         repeat: 1,
         out_of_core: false,
         profile: false,
-        push_only: false,
+        mode: "adaptive".into(),
         threads: None,
         sanitize: false,
         devices: 2,
@@ -154,7 +163,8 @@ fn parse_args() -> Args {
             "--repeat" => args.repeat = value("--repeat").parse().unwrap_or_else(|_| usage()),
             "--out-of-core" => args.out_of_core = true,
             "--profile" => args.profile = true,
-            "--push-only" => args.push_only = true,
+            "--mode" => args.mode = value("--mode"),
+            "--push-only" => args.mode = "push".into(),
             "--threads" => {
                 args.threads = Some(value("--threads").parse().unwrap_or_else(|_| usage()));
             }
@@ -216,6 +226,7 @@ fn make_engine(name: &str, dev: &mut Device, csr: &Csr) -> Box<dyn Engine> {
         "sage" => Box::new(ResidentEngine::new()),
         "sage-tp" => Box::new(TiledPartitioningEngine::new()),
         "naive" => Box::new(NaiveEngine::new()),
+        "spmv" => Box::new(SpmvEngine::new()),
         "b40c" => Box::new(B40cEngine::new()),
         "tigr" => Box::new(TigrEngine::new(dev, csr)),
         "gunrock" => Box::new(GunrockEngine::new()),
@@ -473,10 +484,14 @@ fn main() {
         _ => unreachable!(),
     };
 
-    let runner = if args.push_only {
-        Runner::push_only()
-    } else {
-        Runner::new()
+    let runner = match args.mode.as_str() {
+        "push" => Runner::push_only(),
+        "adaptive" => Runner::new(),
+        "matrix" => Runner::matrix_only(),
+        other => {
+            eprintln!("unknown mode {other:?} (want push|adaptive|matrix)");
+            usage()
+        }
     };
     for i in 0..args.repeat.max(1) {
         let r = runner.run(&mut dev, &g, engine.as_mut(), app.as_mut(), args.source);

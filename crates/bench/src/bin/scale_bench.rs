@@ -5,7 +5,10 @@
 //! sweep, and writes `BENCH_scale.json` with one row per (graph, thread
 //! count): simulated seconds, GTEPS, host wall-clock, speedup over the
 //! 1-thread run, and the trace/replay telemetry (recorded probes, L1
-//! absorption, arena high-water mark).
+//! absorption, arena high-water mark). Every row also carries a `gate`
+//! field naming the trace/replay gate decision (`untraced` / `inline` /
+//! `sharded` / `mixed`), so `recorded_probes: 0` on 1-thread rows reads
+//! as the sequential-path gate rather than missing data.
 //!
 //! Three invariants are enforced on every graph:
 //!
@@ -105,6 +108,26 @@ fn identical(a: &Fingerprint, b: &Fingerprint) -> bool {
         && a.direction_trace == b.direction_trace
 }
 
+/// Why a row's trace/replay counters look the way they do.
+///
+/// `untraced` rows ran on the sequential host path — probe recording is
+/// gated off at 1 host thread (there is nothing to replay), so
+/// `recorded_probes: 0` there is the gate decision, not a bug. Threaded
+/// rows report which replay path actually consumed the recorded probes:
+/// `sharded` (parallel replay only), `inline` (inline replay only), or
+/// `mixed` (both fired across the run's kernels).
+fn gate_decision(threads: usize, replay: &ReplayStats) -> &'static str {
+    if threads == 1 {
+        return "untraced";
+    }
+    match (replay.parallel_replays > 0, replay.inline_replays > 0) {
+        (true, true) => "mixed",
+        (true, false) => "sharded",
+        (false, true) => "inline",
+        (false, false) => "untraced",
+    }
+}
+
 fn row_json(
     family: &str,
     scale: u32,
@@ -119,7 +142,8 @@ fn row_json(
         "{{\"family\": \"{family}\", \"scale\": {scale}, \"nodes\": {}, \"edges\": {}, \
          \"placement\": \"{}\", \"threads\": {threads}, \"sim_seconds\": {:.9}, \
          \"gteps\": {:.4}, \"host_seconds\": {:.6}, \"speedup_vs_1t\": {speedup:.4}, \
-         \"bitwise_identical_to_1t\": {bitwise}, \"recorded_probes\": {}, \
+         \"bitwise_identical_to_1t\": {bitwise}, \
+         \"gate\": \"{}\", \"recorded_probes\": {}, \
          \"l2_probes\": {}, \"parallel_replays\": {}, \"inline_replays\": {}, \
          \"l1_absorption\": {:.4}, \"arena_mib\": {:.2}}}",
         csr.num_nodes(),
@@ -128,6 +152,7 @@ fn row_json(
         out.report.seconds,
         out.report.gteps(),
         out.report.host_seconds,
+        gate_decision(threads, &out.replay),
         out.replay.recorded_probes,
         out.replay.l2_probes,
         out.replay.parallel_replays,

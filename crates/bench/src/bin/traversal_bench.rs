@@ -5,9 +5,9 @@
 //! with the Beamer-style adaptive runner, on identical fresh devices.
 //! Verifies the two pipelines produce bitwise-identical outputs, asserts
 //! the adaptive runner actually wins on BFS (simulated seconds and GTEPS,
-//! with at least one pull iteration in the trace), and writes the
-//! per-iteration direction trace and both measurements to
-//! `BENCH_traversal.json` for the perf trajectory.
+//! with at least one matrix/SpMV iteration in the trace), and writes the
+//! per-iteration direction trace, per-mode iteration counts, and both
+//! measurements to `BENCH_traversal.json` for the perf trajectory.
 //!
 //! Also sweeps the SM-sharded host backend: the BFS adaptive run repeats
 //! with 1 host thread and with the configured budget, checks the two are
@@ -74,10 +74,16 @@ fn run_app(
     }
 }
 
+/// Count one trace letter (`>` push, `<` pull, `M` matrix).
+fn mode_count(r: &RunReport, letter: char) -> usize {
+    r.direction_trace.chars().filter(|&c| c == letter).count()
+}
+
 fn report_json(r: &RunReport) -> String {
     format!(
         "{{\"iterations\": {}, \"edges\": {}, \"edges_examined\": {}, \
          \"seconds\": {:.9}, \"gteps\": {:.4}, \"trace\": \"{}\", \
+         \"modes\": {{\"push\": {}, \"pull\": {}, \"matrix\": {}}}, \
          \"converged\": {}, \"host_seconds\": {:.6}, \"host_threads\": {}}}",
         r.iterations,
         r.edges,
@@ -85,6 +91,9 @@ fn report_json(r: &RunReport) -> String {
         r.seconds,
         r.gteps(),
         r.direction_trace,
+        mode_count(r, '>'),
+        mode_count(r, '<'),
+        mode_count(r, 'M'),
         r.converged,
         r.host_seconds,
         r.host_threads,
@@ -162,10 +171,22 @@ fn main() {
             failed = true;
         }
         if app == "bfs" {
-            if !adaptive.direction_trace.contains('<') {
+            if !adaptive.direction_trace.contains('M') {
                 eprintln!(
-                    "FAIL: bfs adaptive trace has no pull iteration: {}",
+                    "FAIL: bfs adaptive trace has no matrix iteration: {}",
                     adaptive.direction_trace
+                );
+                failed = true;
+            }
+            // per-mode counts must add up to the iteration total (the JSON
+            // consumers key off these fields)
+            let counted = mode_count(&adaptive, '>')
+                + mode_count(&adaptive, '<')
+                + mode_count(&adaptive, 'M');
+            if counted != adaptive.iterations {
+                eprintln!(
+                    "FAIL: mode counts {counted} != iterations {} in trace {}",
+                    adaptive.iterations, adaptive.direction_trace
                 );
                 failed = true;
             }

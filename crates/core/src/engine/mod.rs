@@ -14,6 +14,7 @@ pub mod ligra;
 pub mod naive;
 pub mod resident;
 pub mod sage_tp;
+pub mod spmv;
 pub mod subway;
 pub mod tigr;
 
@@ -23,6 +24,7 @@ pub use ligra::LigraEngine;
 pub use naive::NaiveEngine;
 pub use resident::ResidentEngine;
 pub use sage_tp::TiledPartitioningEngine;
+pub use spmv::SpmvEngine;
 pub use subway::SubwayEngine;
 pub use tigr::TigrEngine;
 
@@ -89,6 +91,33 @@ pub trait Engine {
         let _ = queue_base;
         let sparse = frontier.to_vec();
         self.iterate(dev, g, app, &sparse)
+    }
+
+    /// True when the engine has a native matrix (SpMV) iteration path on
+    /// the tensor units. The default `iterate_matrix` falls back to pull
+    /// (which itself falls back to push), so runners can force the matrix
+    /// mode without breaking scalar-only baselines.
+    fn supports_matrix(&self) -> bool {
+        false
+    }
+
+    /// Matrix iteration: execute the step as `next = (A^T ⊙ mask) · f` —
+    /// masked SpMV of the reversed adjacency against the dense `frontier`
+    /// bitmap, processed as `block_dim`-square blocks on the matrix units
+    /// instead of lane-by-lane CSR scans. Only called when the graph has an
+    /// in-edge view and the app supports pull (the matrix mode applies
+    /// updates through the same pull contract, in the same ascending order,
+    /// so outputs stay bitwise identical to push). `queue_base` plays the
+    /// same fused-epilogue role as in [`Engine::iterate_pull`].
+    fn iterate_matrix(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &BitFrontier,
+        queue_base: u64,
+    ) -> IterationOutput {
+        self.iterate_pull(dev, g, app, frontier, queue_base)
     }
 
     /// Drop any cross-run cached state (e.g. resident tiles).

@@ -10,6 +10,7 @@
 //! techniques" baseline of the ablation (Figure 10).
 
 use super::common::{charge_offset_reads, gather_filter_scattered, pull_iterate, PullConfig};
+use super::spmv::matrix_iterate;
 use super::{Engine, IterationOutput};
 use crate::access::AccessRecorder;
 use crate::app::App;
@@ -119,6 +120,21 @@ impl Engine for NaiveEngine {
             cooperative: false,
         };
         pull_iterate(dev, g, app, frontier, &cfg, queue_base)
+    }
+
+    fn supports_matrix(&self) -> bool {
+        true
+    }
+
+    fn iterate_matrix(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &BitFrontier,
+        queue_base: u64,
+    ) -> IterationOutput {
+        matrix_iterate(dev, g, app, frontier, "naive_matrix", queue_base)
     }
 }
 

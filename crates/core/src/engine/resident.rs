@@ -18,6 +18,7 @@ use super::common::{
     PullConfig, TileObserver,
 };
 use super::sage_tp::SECTOR_NODES;
+use super::spmv::matrix_iterate;
 use super::{Engine, IterationOutput};
 use crate::access::AccessRecorder;
 use crate::app::App;
@@ -324,6 +325,23 @@ impl Engine for ResidentEngine {
             cooperative: true,
         };
         pull_iterate(dev, g, app, frontier, &cfg, queue_base)
+    }
+
+    fn supports_matrix(&self) -> bool {
+        true
+    }
+
+    fn iterate_matrix(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &BitFrontier,
+        queue_base: u64,
+    ) -> IterationOutput {
+        // Like pull, the matrix mode ignores resident tile records: the
+        // adjacency fragments stream once per iteration, block-coalesced.
+        matrix_iterate(dev, g, app, frontier, "sage_matrix", queue_base)
     }
 
     fn reset(&mut self) {

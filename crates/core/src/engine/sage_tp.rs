@@ -19,6 +19,7 @@ use super::common::{
     charge_offset_reads, gather_filter_range, gather_filter_scattered, pull_iterate, NoObserver,
     PullConfig,
 };
+use super::spmv::matrix_iterate;
 use super::{Engine, IterationOutput};
 use crate::access::AccessRecorder;
 use crate::app::App;
@@ -227,6 +228,21 @@ impl Engine for TiledPartitioningEngine {
             cooperative: true,
         };
         pull_iterate(dev, g, app, frontier, &cfg, queue_base)
+    }
+
+    fn supports_matrix(&self) -> bool {
+        true
+    }
+
+    fn iterate_matrix(
+        &mut self,
+        dev: &mut Device,
+        g: &DeviceGraph,
+        app: &mut dyn App,
+        frontier: &BitFrontier,
+        queue_base: u64,
+    ) -> IterationOutput {
+        matrix_iterate(dev, g, app, frontier, "sage_tp_matrix", queue_base)
     }
 }
 

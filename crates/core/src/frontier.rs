@@ -111,12 +111,33 @@ impl BitFrontier {
         self.device_base
     }
 
+    /// Device address of backing word `wi` (companion to [`Self::set_words`];
+    /// [`Self::word_addr`] is the per-node form pull probes use).
+    #[inline]
+    #[must_use]
+    pub fn word_addr_at(&self, wi: usize) -> u64 {
+        self.device_base + wi as u64 * 8
+    }
+
+    /// Iterate the **nonzero** backing words as `(word_index, word)` pairs in
+    /// ascending order — the shared walk for everything that scans the bitmap
+    /// at word granularity (matrix-mode fragment reads, dense bit-set
+    /// charging, sparse extraction), so callers stop re-deriving word
+    /// addresses ad hoc. Population stays O(1) via the cached [`Self::len`].
+    pub fn set_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .map(|(wi, &w)| (wi, w))
+    }
+
     /// Extract the set nodes in ascending order (the contraction-compatible
     /// sparse queue: sorted and duplicate-free by construction).
     #[must_use]
     pub fn to_vec(&self) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.count);
-        for (wi, &w) in self.words.iter().enumerate() {
+        for (wi, w) in self.set_words() {
             let mut bits = w;
             while bits != 0 {
                 let b = bits.trailing_zeros();
@@ -223,6 +244,20 @@ mod tests {
         assert_eq!(b.word_addr(63), 1 << 20);
         assert_eq!(b.word_addr(64), (1 << 20) + 8);
         assert_eq!(b.num_words(), 4);
+    }
+
+    #[test]
+    fn set_words_skips_zero_words_and_matches_popcount() {
+        let b = BitFrontier::from_nodes(&[3, 70, 199], 256, 1 << 20);
+        let words: Vec<(usize, u64)> = b.set_words().collect();
+        assert_eq!(words.len(), 3, "word 2 (128..191) is empty and skipped");
+        assert_eq!(words[0].0, 0);
+        assert_eq!(words[1].0, 1);
+        assert_eq!(words[2].0, 3);
+        let pop: u32 = words.iter().map(|&(_, w)| w.count_ones()).sum();
+        assert_eq!(pop as usize, b.len());
+        assert_eq!(b.word_addr_at(1), (1 << 20) + 8);
+        assert_eq!(b.word_addr_at(1), b.word_addr(70));
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub struct RunReport {
     /// elections/partitions) — the numerator of Table 3.
     pub overhead_seconds: f64,
     /// Per-iteration direction trace: `>` for a push iteration, `<` for a
-    /// pull iteration, `|` separating accumulated runs. Empty for runners
+    /// pull iteration, `M` for a matrix (masked SpMV on the tensor units)
+    /// iteration, `|` separating accumulated runs. Empty for runners
     /// predating the adaptive pipeline (e.g. multi-GPU drivers).
     pub direction_trace: String,
     /// False when the run stopped at the iteration cap instead of the

@@ -10,6 +10,12 @@
 //! iterations require the graph's in-edge view ([`crate::DeviceGraph::with_in_edges`])
 //! plus pull support from both the engine and the app; otherwise the runner
 //! transparently stays push-only.
+//!
+//! The three-way policy adds a **matrix** gear on top: once the heuristic
+//! is in bottom-up territory *and* the frontier bitmap is dense enough,
+//! the iteration executes as a masked SpMV on the tensor units
+//! ([`crate::engine::spmv::matrix_iterate`]) instead of a scalar pull scan.
+//! Matrix iterations appear as `M` in the direction trace.
 
 use crate::app::{App, Step};
 use crate::dgraph::DeviceGraph;
@@ -35,6 +41,25 @@ pub enum DirectionPolicy {
         /// Pull→push population ratio (paper default 24).
         beta: f64,
     },
+    /// Three-way chooser: the alpha/beta state machine decides push vs
+    /// bottom-up exactly as [`DirectionPolicy::Adaptive`] does; a bottom-up
+    /// iteration then executes on the **matrix** units when the frontier
+    /// bitmap is dense enough (`n_f / n ≥ density` — well-populated
+    /// fragments amortize the block multiplies), and as a scalar pull scan
+    /// otherwise.
+    Adaptive3 {
+        /// Push→pull edge-mass ratio (paper default 14).
+        alpha: f64,
+        /// Pull→push population ratio (paper default 24).
+        beta: f64,
+        /// Minimum frontier density for the matrix mode.
+        density: f64,
+    },
+    /// Every iteration runs as a masked SpMV (testing/ablation mode). Unlike
+    /// the adaptive policies this skips the `m_u > 0` guard, so all-vertex
+    /// frontier apps (PR, CC) take the matrix path too — PR *is* the
+    /// classic SpMV workload.
+    MatrixOnly,
 }
 
 impl DirectionPolicy {
@@ -46,6 +71,25 @@ impl DirectionPolicy {
             beta: 24.0,
         }
     }
+
+    /// The three-way configuration: α=14, β=24, matrix above 5% frontier
+    /// density.
+    #[must_use]
+    pub fn adaptive3() -> Self {
+        DirectionPolicy::Adaptive3 {
+            alpha: 14.0,
+            beta: 24.0,
+            density: 0.05,
+        }
+    }
+}
+
+/// Which path one iteration takes (resolved from policy + capabilities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Push,
+    Pull,
+    Matrix,
 }
 
 /// Runs applications through an engine on a device.
@@ -60,13 +104,14 @@ impl Default for Runner {
     fn default() -> Self {
         Self {
             max_iterations: 100_000,
-            policy: DirectionPolicy::adaptive(),
+            policy: DirectionPolicy::adaptive3(),
         }
     }
 }
 
 impl Runner {
-    /// A runner with default limits and the adaptive direction policy.
+    /// A runner with default limits and the three-way adaptive direction
+    /// policy (push / pull / matrix).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -78,6 +123,15 @@ impl Runner {
     pub fn push_only() -> Self {
         Self {
             policy: DirectionPolicy::PushOnly,
+            ..Self::default()
+        }
+    }
+
+    /// A runner pinned to matrix (masked SpMV) iterations.
+    #[must_use]
+    pub fn matrix_only() -> Self {
+        Self {
+            policy: DirectionPolicy::MatrixOnly,
             ..Self::default()
         }
     }
@@ -102,23 +156,34 @@ impl Runner {
         let bitmap_buf = dev.alloc_array::<u64>(n.div_ceil(64).max(1), 0);
         let init = app.init(dev, g.csr(), source);
 
-        let (alpha, beta) = match self.policy {
-            DirectionPolicy::Adaptive { alpha, beta } => (alpha, beta),
-            DirectionPolicy::PushOnly => (0.0, 0.0),
+        let (alpha, beta, density) = match self.policy {
+            DirectionPolicy::Adaptive { alpha, beta } => (alpha, beta, f64::INFINITY),
+            DirectionPolicy::Adaptive3 {
+                alpha,
+                beta,
+                density,
+            } => (alpha, beta, density),
+            DirectionPolicy::PushOnly | DirectionPolicy::MatrixOnly => (0.0, 0.0, 0.0),
         };
-        let pull_ok = matches!(self.policy, DirectionPolicy::Adaptive { .. })
-            && g.has_in_edges()
-            && engine.supports_pull()
-            && app.supports_pull();
+        let bottom_up_capable = g.has_in_edges() && app.supports_pull();
+        let pull_ok = matches!(
+            self.policy,
+            DirectionPolicy::Adaptive { .. } | DirectionPolicy::Adaptive3 { .. }
+        ) && bottom_up_capable
+            && engine.supports_pull();
+        let matrix_ok = matches!(
+            self.policy,
+            DirectionPolicy::Adaptive3 { .. } | DirectionPolicy::MatrixOnly
+        ) && bottom_up_capable
+            && engine.supports_matrix();
+        // the alpha/beta state machine runs whenever *some* bottom-up path
+        // exists — an engine may offer matrix without scalar pull
+        let track = pull_ok || matrix_ok;
 
         // unvisited-edge bookkeeping for the heuristic: m_u counts the
         // out-edges of vertices that have never been on a frontier
-        let mut visited = vec![false; if pull_ok { n } else { 0 }];
-        let mut m_u: u64 = if pull_ok {
-            g.csr().num_edges() as u64
-        } else {
-            0
-        };
+        let mut visited = vec![false; if track { n } else { 0 }];
+        let mut m_u: u64 = if track { g.csr().num_edges() as u64 } else { 0 };
         let mark_visited = |nodes: &[NodeId], visited: &mut Vec<bool>, m_u: &mut u64| {
             for &u in nodes {
                 if !visited[u as usize] {
@@ -127,7 +192,7 @@ impl Runner {
                 }
             }
         };
-        if pull_ok {
+        if track {
             mark_visited(&init, &mut visited, &mut m_u);
         }
 
@@ -153,7 +218,8 @@ impl Runner {
             // m_f (the frontier's out-edge mass) doubles as the
             // push-equivalent work of this iteration for TEPS accounting.
             let mut m_f = 0u64;
-            if pull_ok {
+            let mut mode = Mode::Push;
+            if track {
                 m_f = match &frontier {
                     Frontier::Sparse(q) => q.iter().map(|&u| g.csr().degree(u) as u64).sum(),
                     Frontier::Dense(b) => {
@@ -161,47 +227,72 @@ impl Runner {
                     }
                 };
                 let n_f = frontier.len() as f64;
-                if !pulling {
-                    // m_u > 0: bottom-up only pays while unvisited vertices
-                    // remain to early-exit on. Apps whose initial frontier is
-                    // every vertex (PR, CC) drain m_u at init and correctly
-                    // stay push — their pull scans can't skip anything.
-                    if m_u > 0 && m_f as f64 * alpha > m_u as f64 {
-                        pulling = true;
+                if matches!(self.policy, DirectionPolicy::MatrixOnly) {
+                    mode = Mode::Matrix;
+                } else {
+                    if !pulling {
+                        // m_u > 0: bottom-up only pays while unvisited
+                        // vertices remain to early-exit on. Apps whose
+                        // initial frontier is every vertex (PR, CC) drain
+                        // m_u at init and correctly stay push — their pull
+                        // scans can't skip anything.
+                        if m_u > 0 && m_f as f64 * alpha > m_u as f64 {
+                            pulling = true;
+                        }
+                    } else if n_f * beta < n as f64 {
+                        pulling = false;
                     }
-                } else if n_f * beta < n as f64 {
-                    pulling = false;
+                    if pulling {
+                        mode = if matrix_ok && n_f >= density * n as f64 {
+                            Mode::Matrix
+                        } else if pull_ok {
+                            Mode::Pull
+                        } else {
+                            Mode::Push
+                        };
+                    }
                 }
             }
 
-            let out = if pulling {
-                // dense iteration: the pull kernel fuses the bitmap build
-                // and the next-queue writes into its single launch
-                let dense = frontier.make_dense(n, bitmap_buf.base());
-                trace.push('<');
-                engine.iterate_pull(dev, g, app, dense, frontier_buf.base())
-            } else {
-                trace.push('>');
-                engine.iterate(dev, g, app, frontier.make_sparse())
+            let out = match mode {
+                Mode::Pull => {
+                    // dense iteration: the pull kernel fuses the bitmap
+                    // build and the next-queue writes into its single launch
+                    let dense = frontier.make_dense(n, bitmap_buf.base());
+                    trace.push('<');
+                    engine.iterate_pull(dev, g, app, dense, frontier_buf.base())
+                }
+                Mode::Matrix => {
+                    // same fused single-launch shape, but the step runs as
+                    // `(Aᵀ ⊙ mask) · f` on the matrix units
+                    let dense = frontier.make_dense(n, bitmap_buf.base());
+                    trace.push('M');
+                    engine.iterate_matrix(dev, g, app, dense, frontier_buf.base())
+                }
+                Mode::Push => {
+                    trace.push('>');
+                    engine.iterate(dev, g, app, frontier.make_sparse())
+                }
             };
-            // GTEPS keeps the push-equivalent numerator in both directions
-            // (Beamer's convention): a pull iteration does *less* work than
-            // push on the same frontier, which shows up in `seconds` and in
-            // the examined counter, not as a throughput collapse.
-            edges += if pulling { m_f } else { out.edges };
+            // GTEPS keeps the push-equivalent numerator in every direction
+            // (Beamer's convention): a bottom-up iteration does *different*
+            // work than push on the same frontier, which shows up in
+            // `seconds` and in the examined counter, not as a throughput
+            // collapse.
+            edges += if mode == Mode::Push { out.edges } else { m_f };
             edges_examined += out.edges;
             overhead += out.overhead_seconds;
             iterations += 1;
 
             // ---- contraction ----
-            // Pull output is already sorted, duplicate-free, and written to
-            // the queue inside the pull kernel — no contraction launch at
-            // all. Push output needs dedup: a blown-up frontier dedups
-            // through the bitmap, a small one through the host-side sort
-            // (the classic Figure 2 contraction).
+            // Pull and matrix output is already sorted, duplicate-free, and
+            // written to the queue inside the fused kernel — no contraction
+            // launch at all. Push output needs dedup: a blown-up frontier
+            // dedups through the bitmap, a small one through the host-side
+            // sort (the classic Figure 2 contraction).
             let mut next = out.next;
-            if !pulling {
-                let dense_dedup = pull_ok && next.len() >= n / 8;
+            if mode == Mode::Push {
+                let dense_dedup = track && next.len() >= n / 8;
                 let mut k = dev.launch(if dense_dedup {
                     "contract_bitmap"
                 } else {
@@ -222,7 +313,7 @@ impl Runner {
                 let _ = k.finish();
             }
 
-            if pull_ok {
+            if track {
                 mark_visited(&next, &mut visited, &mut m_u);
             }
 
@@ -429,7 +520,8 @@ mod tests {
     #[test]
     fn adaptive_bfs_pulls_on_star_and_matches_push() {
         // hub 0 -> 1..=199: iteration 2's frontier holds nearly every edge
-        // endpoint, so the heuristic must flip to pull at least once
+        // endpoint, so the heuristic must flip bottom-up at least once —
+        // under the three-way default a frontier this dense goes matrix
         let edges: Vec<(u32, u32)> = (1..200u32).flat_map(|v| [(0, v), (v, 0)]).collect();
         let csr = Csr::from_edges(200, &edges);
         let expect = reference::bfs_levels(&csr, 0);
@@ -442,14 +534,74 @@ mod tests {
         let dist_adaptive = app.distances().to_vec();
 
         assert!(
-            adaptive.direction_trace.contains('<'),
-            "star graph must trigger pull: {}",
+            adaptive.direction_trace.contains('M'),
+            "a near-full frontier must take the matrix gear: {}",
             adaptive.direction_trace
         );
         assert_eq!(dist_adaptive, expect);
 
+        let two_way = Runner {
+            policy: DirectionPolicy::adaptive(),
+            ..Runner::default()
+        };
+        let r2 = two_way.run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert!(
+            r2.direction_trace.contains('<') && !r2.direction_trace.contains('M'),
+            "two-way policy must keep scalar pull: {}",
+            r2.direction_trace
+        );
+        assert_eq!(app.distances(), expect.as_slice());
+
         let push = Runner::push_only().run(&mut dev, &g, &mut eng, &mut app, 0);
         assert_eq!(app.distances(), expect.as_slice());
         assert_eq!(push.direction_trace, ">".repeat(push.iterations));
+    }
+
+    #[test]
+    fn matrix_only_bfs_matches_reference_and_traces_m() {
+        let csr = small_graph();
+        let expect = reference::bfs_levels(&csr, 5);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr).with_in_edges(&mut dev);
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let r = Runner::matrix_only().run(&mut dev, &g, &mut eng, &mut app, 5);
+        assert_eq!(app.distances(), expect.as_slice());
+        assert!(r.converged);
+        assert_eq!(r.direction_trace, "M".repeat(r.iterations));
+        assert!(dev.profiler().mma_ops > 0);
+    }
+
+    #[test]
+    fn matrix_only_pagerank_matches_reference() {
+        // PR is the classic SpMV workload: MatrixOnly skips the m_u guard
+        let csr = small_graph();
+        let expect = reference::pagerank(&csr, 20);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr).with_in_edges(&mut dev);
+        let mut app = PageRank::new(&mut dev, 20, 0.0);
+        let mut eng = NaiveEngine::new();
+        let r = Runner::matrix_only().run(&mut dev, &g, &mut eng, &mut app, 0);
+        assert_eq!(r.iterations, 20);
+        assert!(r.direction_trace.chars().all(|c| c == 'M'));
+        for (i, (&p, &pr)) in app.ranks().iter().zip(&expect).enumerate() {
+            assert!(
+                (f64::from(p) - pr).abs() < 1e-4 + 1e-2 * pr,
+                "pr[{i}]: {p} vs {pr}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_without_in_edges_falls_back_to_push() {
+        let csr = small_graph();
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        let g = DeviceGraph::upload(&mut dev, csr); // no in-edge view
+        let mut app = Bfs::new(&mut dev);
+        let mut eng = NaiveEngine::new();
+        let r = Runner::matrix_only().run(&mut dev, &g, &mut eng, &mut app, 5);
+        assert!(r.converged);
+        assert!(!r.direction_trace.contains('M'));
+        assert_eq!(dev.profiler().mma_ops, 0);
     }
 }

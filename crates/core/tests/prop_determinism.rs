@@ -2,8 +2,9 @@
 //! random power-law graphs, running the same traversal with 2, 4, or 8 host
 //! threads must produce **bitwise identical** results to the sequential
 //! path — application outputs, simulated cycles, and every cache counter
-//! (L1/L2 hits, DRAM sectors) — across BFS/CC/PR, in both the push-only and
-//! the adaptive (push+pull) pipelines, on every pull-capable engine.
+//! (L1/L2 hits, DRAM sectors) — across BFS/CC/PR, in the push-only, the
+//! adaptive three-way (push/pull/matrix), and the matrix-forced (masked
+//! SpMV) pipelines, on every pull-capable engine.
 
 use gpu_sim::{Device, DeviceConfig};
 use proptest::prelude::*;
@@ -56,6 +57,33 @@ enum AppSel {
     Pr,
 }
 
+/// Direction policies under test: push-only, the adaptive three-way
+/// optimizer, and the matrix-forced (masked SpMV) pipeline.
+#[derive(Clone, Copy)]
+enum PolicySel {
+    Push,
+    Adaptive3,
+    Matrix,
+}
+
+impl PolicySel {
+    fn from_u8(v: u8) -> Self {
+        match v % 3 {
+            0 => PolicySel::Push,
+            1 => PolicySel::Adaptive3,
+            _ => PolicySel::Matrix,
+        }
+    }
+
+    fn runner(self) -> Runner {
+        match self {
+            PolicySel::Push => Runner::push_only(),
+            PolicySel::Adaptive3 => Runner::new(),
+            PolicySel::Matrix => Runner::matrix_only(),
+        }
+    }
+}
+
 /// Everything one run produces, captured as exact bit patterns.
 #[derive(Debug, PartialEq, Eq, Clone)]
 struct Fingerprint {
@@ -77,18 +105,14 @@ fn run_once(
     csr: &Csr,
     engine: &mut dyn Engine,
     threads: usize,
-    adaptive: bool,
+    policy: PolicySel,
     app: AppSel,
     src: u32,
 ) -> Fingerprint {
     let mut dev = Device::new(cfg8());
     dev.set_host_threads(threads);
     let dg = DeviceGraph::upload(&mut dev, csr.clone()).with_in_edges(&mut dev);
-    let runner = if adaptive {
-        Runner::new()
-    } else {
-        Runner::push_only()
-    };
+    let runner = policy.runner();
     let (report, outputs) = match app {
         AppSel::Bfs => {
             let mut a = Bfs::new(&mut dev);
@@ -127,16 +151,16 @@ fn run_once(
 /// bit for bit (modulo the reported thread budget itself).
 fn assert_deterministic(
     csr: &Csr,
-    adaptive: bool,
+    policy: PolicySel,
     app: AppSel,
     src: u32,
 ) -> Result<(), TestCaseError> {
     for make in engines() {
-        let seq = run_once(csr, make().as_mut(), 1, adaptive, app, src);
+        let seq = run_once(csr, make().as_mut(), 1, policy, app, src);
         prop_assert_eq!(seq.host_threads, 1);
         for &t in &THREADS {
             let mut engine = make();
-            let mut par = run_once(csr, engine.as_mut(), t, adaptive, app, src);
+            let mut par = run_once(csr, engine.as_mut(), t, policy, app, src);
             prop_assert_eq!(
                 par.host_threads,
                 t,
@@ -161,26 +185,26 @@ proptest! {
 
     #[test]
     fn bfs_parallel_matches_sequential_bitwise(
-        nodes in 60usize..160, seed in 0u64..1000, src in 0u32..60, adaptive in 0u8..2
+        nodes in 60usize..160, seed in 0u64..1000, src in 0u32..60, policy in 0u8..3
     ) {
         let g = graph(nodes, 8.0, seed);
-        assert_deterministic(&g, adaptive == 1, AppSel::Bfs, src)?;
+        assert_deterministic(&g, PolicySel::from_u8(policy), AppSel::Bfs, src)?;
     }
 
     #[test]
     fn cc_parallel_matches_sequential_bitwise(
-        nodes in 60usize..140, seed in 0u64..1000, adaptive in 0u8..2
+        nodes in 60usize..140, seed in 0u64..1000, policy in 0u8..3
     ) {
         let g = graph(nodes, 6.0, seed);
-        assert_deterministic(&g, adaptive == 1, AppSel::Cc, 0)?;
+        assert_deterministic(&g, PolicySel::from_u8(policy), AppSel::Cc, 0)?;
     }
 
     #[test]
     fn pr_parallel_matches_sequential_bitwise(
-        nodes in 60usize..120, seed in 0u64..1000, adaptive in 0u8..2
+        nodes in 60usize..120, seed in 0u64..1000, policy in 0u8..3
     ) {
         let g = graph(nodes, 6.0, seed);
-        assert_deterministic(&g, adaptive == 1, AppSel::Pr, 0)?;
+        assert_deterministic(&g, PolicySel::from_u8(policy), AppSel::Pr, 0)?;
     }
 }
 
@@ -205,10 +229,32 @@ fn all_engines_deterministic_on_fixed_graph() {
         || Box::new(GunrockEngine::default()),
     ];
     for make in roster {
-        let seq = run_once(&g, make().as_mut(), 1, false, AppSel::Bfs, 0);
+        let seq = run_once(&g, make().as_mut(), 1, PolicySel::Push, AppSel::Bfs, 0);
         for &t in &THREADS {
             let mut engine = make();
-            let mut par = run_once(&g, engine.as_mut(), t, false, AppSel::Bfs, 0);
+            let mut par = run_once(&g, engine.as_mut(), t, PolicySel::Push, AppSel::Bfs, 0);
+            par.host_threads = seq.host_threads;
+            assert_eq!(par, seq, "{} diverged at {} threads", engine.name(), t);
+        }
+    }
+}
+
+/// The matrix pipeline really runs its SpMV iterations under the sharded
+/// backend: a dense fixed graph traces `M` on every pull-capable engine and
+/// every thread count reproduces the sequential fingerprint bit for bit.
+#[test]
+fn matrix_pipeline_deterministic_and_traced_on_fixed_graph() {
+    let g = graph(200, 8.0, 7);
+    for make in engines() {
+        let seq = run_once(&g, make().as_mut(), 1, PolicySel::Matrix, AppSel::Bfs, 0);
+        assert!(
+            seq.trace.contains('M'),
+            "matrix-forced run never took the SpMV path: {}",
+            seq.trace
+        );
+        for &t in &THREADS {
+            let mut engine = make();
+            let mut par = run_once(&g, engine.as_mut(), t, PolicySel::Matrix, AppSel::Bfs, 0);
             par.host_threads = seq.host_threads;
             assert_eq!(par, seq, "{} diverged at {} threads", engine.name(), t);
         }

@@ -1,8 +1,9 @@
 //! Property-based tests for the direction optimizer: on arbitrary graphs
-//! the adaptive runner, the push-only runner, and the sequential reference
-//! all agree — exactly for BFS/CC, bitwise for PR between the two device
-//! pipelines — across every pull-capable engine, plus a deterministic
-//! hub-star family guaranteed to take the pull path.
+//! the adaptive three-way runner, the push-only runner, the matrix-forced
+//! (masked SpMV) runner, and the sequential reference all agree — exactly
+//! for BFS/CC, bitwise for PR between the device pipelines — across every
+//! pull-capable engine, plus a deterministic hub-star family guaranteed to
+//! take the bottom-up (pull or matrix) path.
 
 use gpu_sim::{Device, DeviceConfig};
 use proptest::prelude::*;
@@ -55,6 +56,9 @@ proptest! {
             prop_assert_eq!(&adaptive, &expect, "adaptive {} vs reference", engine.name());
             prop_assert_eq!(app.distances(), adaptive.as_slice(),
                 "push-only {} vs adaptive", engine.name());
+            let _ = Runner::matrix_only().run(&mut dev, &dg, engine.as_mut(), &mut app, src);
+            prop_assert_eq!(app.distances(), adaptive.as_slice(),
+                "matrix-forced {} vs adaptive", engine.name());
         }
     }
 
@@ -72,6 +76,9 @@ proptest! {
             prop_assert_eq!(&adaptive, &expect, "adaptive {} vs reference", engine.name());
             prop_assert_eq!(app.labels(), adaptive.as_slice(),
                 "push-only {} vs adaptive", engine.name());
+            let _ = Runner::matrix_only().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+            prop_assert_eq!(app.labels(), adaptive.as_slice(),
+                "matrix-forced {} vs adaptive", engine.name());
         }
     }
 
@@ -90,6 +97,9 @@ proptest! {
             // device pipelines agree to the bit (the fixed-point accumulator
             // is order-independent); the host reference only approximately
             prop_assert_eq!(&push, &adaptive, "push-only {} vs adaptive", engine.name());
+            let _ = Runner::matrix_only().run(&mut dev, &dg, engine.as_mut(), &mut app, 0);
+            let matrix: Vec<u32> = app.ranks().iter().map(|p| p.to_bits()).collect();
+            prop_assert_eq!(&matrix, &adaptive, "matrix-forced {} vs adaptive", engine.name());
             for (i, (&p, &pr)) in app.ranks().iter().zip(&expect).enumerate() {
                 prop_assert!((f64::from(p) - pr).abs() < 1e-4 + 1e-2 * pr,
                     "pr[{}]: {} vs {} ({})", i, p, pr, engine.name());
@@ -108,10 +118,28 @@ proptest! {
             let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
             let mut app = Bfs::new(&mut dev);
             let r = Runner::new().run(&mut dev, &dg, engine.as_mut(), &mut app, src);
-            prop_assert!(r.direction_trace.contains('<'),
-                "star must pull on {}: {}", engine.name(), r.direction_trace);
+            prop_assert!(r.direction_trace.contains('<') || r.direction_trace.contains('M'),
+                "star must go bottom-up on {}: {}", engine.name(), r.direction_trace);
             prop_assert_eq!(app.distances(), expect.as_slice(),
                 "engine {} diverged under pull", engine.name());
+        }
+    }
+
+    #[test]
+    fn forced_matrix_star_traces_m_and_agrees(spokes in 40usize..120, src in 0u32..4) {
+        let n = spokes + 1;
+        prop_assume!((src as usize) < n);
+        let g = star(n);
+        let expect = reference::bfs_levels(&g, src);
+        let mut dev = Device::new(DeviceConfig::test_tiny());
+        for mut engine in pull_engines() {
+            let dg = DeviceGraph::upload(&mut dev, g.clone()).with_in_edges(&mut dev);
+            let mut app = Bfs::new(&mut dev);
+            let r = Runner::matrix_only().run(&mut dev, &dg, engine.as_mut(), &mut app, src);
+            prop_assert!(r.direction_trace.contains('M'),
+                "matrix-forced star must multiply on {}: {}", engine.name(), r.direction_trace);
+            prop_assert_eq!(app.distances(), expect.as_slice(),
+                "engine {} diverged under matrix", engine.name());
         }
     }
 }

@@ -92,6 +92,47 @@ impl Default for PeerLinkConfig {
     }
 }
 
+/// Matrix-unit (tensor-core) parameters for the SpMV traversal mode.
+///
+/// The matrix pipe sits beside the scalar-lane model: one **MMA op** is a
+/// warpgroup-level binary fragment multiply covering a
+/// `block_dim × block_dim` adjacency block against a frontier fragment
+/// (the `(A^T ⊙ mask) · f` step), internally a sequence of
+/// `side × side × side` hardware fragments. Ops charge a per-SM tensor-pipe
+/// throughput bound plus an exposed-latency term hidden by warp concurrency,
+/// exactly like scalar memory latency — pure arithmetic on event counts, so
+/// the term is bitwise identical at any host thread count and under the
+/// trace/replay backend (the memory side of a matrix kernel goes through the
+/// ordinary [`crate::Kernel`] access paths and is traced/sanitized there).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TensorConfig {
+    /// Hardware MMA fragment dimension (m = n = k), e.g. 16 for WMMA
+    /// 16×16×16 on Turing.
+    pub side: usize,
+    /// Adjacency-block dimension one MMA op covers (the warpgroup tile);
+    /// a multiple of `side`. 64 aligns a column block with one frontier
+    /// bitmap word.
+    pub block_dim: usize,
+    /// MMA ops the SM's tensor pipe retires per cycle. Binary (b1) fragment
+    /// throughput on Turing-class tensor cores is ~8× FP16 FMA rate, which
+    /// is what lets a whole 64×64 bit-block clear in a handful of cycles.
+    pub mma_per_cycle: f64,
+    /// Pipeline latency of one MMA op in cycles (exposed latency, hidden by
+    /// concurrency like a memory stall).
+    pub mma_latency: u64,
+}
+
+impl Default for TensorConfig {
+    fn default() -> Self {
+        Self {
+            side: 16,
+            block_dim: 64,
+            mma_per_cycle: 0.25,
+            mma_latency: 64,
+        }
+    }
+}
+
 /// Full architectural description of one simulated device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceConfig {
@@ -135,6 +176,8 @@ pub struct DeviceConfig {
     pub shuffle_cycles: u64,
     /// L2 round-trip cost of an atomic operation in cycles.
     pub atomic_cycles: u64,
+    /// Matrix-unit (tensor-core) pipe feeding the SpMV traversal mode.
+    pub tensor: TensorConfig,
 
     /// PCIe link to the host (out-of-core scenario).
     pub pcie: PcieConfig,
@@ -211,6 +254,7 @@ impl DeviceConfig {
             vote_cycles: 2,
             shuffle_cycles: 2,
             atomic_cycles: 210,
+            tensor: TensorConfig::default(),
             pcie: PcieConfig::default(),
             peer: PeerLinkConfig::default(),
             sanitize: false,
@@ -273,6 +317,15 @@ impl DeviceConfig {
             vote_cycles: 1,
             shuffle_cycles: 1,
             atomic_cycles: 60,
+            // tiny matrix unit matching the 8-lane warps: 8×8 fragments
+            // over 16-wide blocks so block boundaries show up on small
+            // test graphs
+            tensor: TensorConfig {
+                side: 8,
+                block_dim: 16,
+                mma_per_cycle: 0.25,
+                mma_latency: 20,
+            },
             pcie: PcieConfig::default(),
             peer: PeerLinkConfig::default(),
             sanitize: false,
@@ -420,6 +473,16 @@ mod tests {
         assert_eq!(c.replay_gate, 8_192);
         assert_eq!(c.memory_bytes, 48 * 1024 * 1024 * 1024);
         assert!(DeviceConfig::test_tiny().memory_bytes < c.memory_bytes);
+    }
+
+    #[test]
+    fn tensor_block_is_multiple_of_fragment_side() {
+        for cfg in [DeviceConfig::default(), DeviceConfig::test_tiny()] {
+            let t = cfg.tensor;
+            assert!(t.block_dim >= t.side);
+            assert_eq!(t.block_dim % t.side, 0, "{}: ragged matrix block", cfg.name);
+            assert!(t.mma_per_cycle > 0.0);
+        }
     }
 
     #[test]

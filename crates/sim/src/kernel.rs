@@ -93,6 +93,7 @@ pub(crate) struct SmCounters {
     pub atomic_serial: u64,
     pub syncs: u64,
     pub host_sectors: u64,
+    pub mma_ops: u64,
 }
 
 /// Timing summary returned by [`Kernel::finish`].
@@ -219,6 +220,29 @@ impl<'d> Kernel<'d> {
     pub fn exec_uniform(&mut self, sm: usize, warp_insts: u64) {
         let w = self.dev.cfg().warp_size;
         self.exec(sm, warp_insts, w, w);
+    }
+
+    /// Issue `ops` matrix-unit (tensor-core) ops on `sm`: each op is one
+    /// warpgroup-level binary fragment multiply over a
+    /// [`crate::TensorConfig::block_dim`]-square adjacency block. Ops feed
+    /// a per-SM tensor-pipe throughput bound plus an exposed-latency term
+    /// hidden by concurrency — a fourth contender in the per-SM cycle max
+    /// beside issue, the memory pipe, and scalar exposed latency. The charge
+    /// is pure event arithmetic, so it is identical on the sequential and
+    /// trace/replay backends by construction; the operands' memory traffic
+    /// is charged separately through the ordinary access paths.
+    pub fn mma(&mut self, sm: usize, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        let warp = self.dev.cfg().warp_size;
+        let n = self.per_sm.len();
+        let c = &mut self.per_sm[sm % n];
+        c.mma_ops += ops;
+        // each op occupies one issue slot (HMMA/BMMA instruction dispatch)
+        c.warp_insts += ops as f64;
+        c.active_lanes += (ops as usize * warp) as f64;
+        c.lane_slots += (ops as usize * warp) as f64;
     }
 
     /// A warp/tile-wide memory access: lanes touch `addrs` (each `elem_bytes`
@@ -524,13 +548,17 @@ impl<'d> Kernel<'d> {
             let issue = c.warp_insts / cfg.issue_width;
             let sectors = c.l1_hits + c.l2_hits + c.dram_sectors + c.host_sectors;
             let mem_pipe = sectors as f64 / cfg.sectors_per_line() as f64;
+            // matrix-unit pipe: MMA op throughput bounds the SM like the LSU
+            // datapath bounds sector traffic
+            let tensor_pipe = c.mma_ops as f64 / cfg.tensor.mma_per_cycle;
             let latency_sum = c.l1_hits as f64 * cfg.l1.hit_latency as f64
                 + c.l2_hits as f64 * cfg.l2.hit_latency as f64
                 + c.dram_sectors as f64 * cfg.dram_latency as f64
-                + (c.atomics + c.atomic_serial) as f64 * cfg.atomic_cycles as f64;
+                + (c.atomics + c.atomic_serial) as f64 * cfg.atomic_cycles as f64
+                + c.mma_ops as f64 * cfg.tensor.mma_latency as f64;
             let exposed = latency_sum / self.concurrency;
             let sync_cost = c.syncs as f64 * cfg.block_sync_cycles as f64;
-            let sm_cycles = issue.max(mem_pipe).max(exposed) + sync_cost;
+            let sm_cycles = issue.max(mem_pipe).max(exposed).max(tensor_pipe) + sync_cost;
             max_sm = max_sm.max(sm_cycles);
             sum_sm += sm_cycles;
 
@@ -545,6 +573,7 @@ impl<'d> Kernel<'d> {
             totals.atomics += c.atomics;
             totals.atomic_conflicts += c.atomic_serial;
             totals.syncs += c.syncs;
+            totals.mma_ops += c.mma_ops;
             dram_bytes += c.dram_sectors * cfg.sector_bytes as u64;
             l2_sectors_total += c.l2_hits + c.dram_sectors;
         }
@@ -626,6 +655,11 @@ impl<'d> SmShard<'_, 'd> {
     /// Issue fully-converged instructions ([`Kernel::exec_uniform`]).
     pub fn exec_uniform(&mut self, warp_insts: u64) {
         self.k.exec_uniform(self.sm, warp_insts);
+    }
+
+    /// Issue matrix-unit ops on this shard's SM ([`Kernel::mma`]).
+    pub fn mma(&mut self, ops: u64) {
+        self.k.mma(self.sm, ops);
     }
 
     /// A warp/tile-wide memory access ([`Kernel::access`]).
@@ -1263,6 +1297,49 @@ mod tests {
         assert_eq!(hz.kind, crate::sanitizer::HazardKind::ReadWrite);
         assert_eq!(hz.kernel, "rw");
         assert_eq!((hz.first.sm, hz.second.sm), (0, 2));
+    }
+
+    #[test]
+    fn mma_ops_bound_the_tensor_pipe() {
+        let cfg = DeviceConfig::test_tiny();
+        let mut d = dev();
+        let mut k = d.launch("mma");
+        k.set_concurrency(cfg.max_resident_warps as f64);
+        k.mma(0, 1000);
+        let r = k.finish();
+        let pipe = 1000.0 / cfg.tensor.mma_per_cycle;
+        assert!(
+            r.max_sm_cycles >= pipe,
+            "tensor pipe must bound the SM: {} < {pipe}",
+            r.max_sm_cycles
+        );
+        assert_eq!(d.profiler().mma_ops, 1000);
+    }
+
+    #[test]
+    fn mma_is_deterministic_across_host_threads() {
+        let run = |threads: usize| {
+            let mut d = dev();
+            d.set_host_threads(threads);
+            let mut k = d.launch("mma_mixed");
+            for sm in 0..4 {
+                k.mma(sm, 10 + sm as u64);
+                k.access_range(sm, AccessKind::Read, 4096 + sm as u64 * 512, 64, 4);
+            }
+            let r = k.finish();
+            (r.cycles.to_bits(), d.profiler().mma_ops)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn zero_mma_is_free() {
+        let mut d = dev();
+        let mut k = d.launch("mma0");
+        k.mma(0, 0);
+        let r = k.finish();
+        assert_eq!(r.active_sms, 0);
+        assert_eq!(d.profiler().mma_ops, 0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod tile;
 mod trace;
 
 pub use cache::{Probe, SectorCache, SlicedCache};
-pub use config::{CacheConfig, CpuConfig, DeviceConfig, PcieConfig, PeerLinkConfig};
+pub use config::{CacheConfig, CpuConfig, DeviceConfig, PcieConfig, PeerLinkConfig, TensorConfig};
 pub use cpu::Cpu;
 pub use device::{default_host_threads, default_replay_gate, default_sanitize, Device};
 pub use host::{PoolAccess, UmPool};

@@ -30,6 +30,9 @@ pub struct Profiler {
     pub atomic_conflicts: u64,
     /// Block-wide barriers executed.
     pub syncs: u64,
+    /// Matrix-unit (tensor-core) ops retired — one per block-square binary
+    /// fragment multiply in the SpMV traversal mode.
+    pub mma_ops: u64,
     /// Bytes moved over PCIe (out-of-core traffic).
     pub pcie_bytes: u64,
     /// PCIe requests issued.
@@ -99,6 +102,7 @@ impl Profiler {
         self.atomics += other.atomics;
         self.atomic_conflicts += other.atomic_conflicts;
         self.syncs += other.syncs;
+        self.mma_ops += other.mma_ops;
         self.pcie_bytes += other.pcie_bytes;
         self.pcie_requests += other.pcie_requests;
         self.peer_bytes += other.peer_bytes;
@@ -188,6 +192,7 @@ impl fmt::Display for Profiler {
             self.atomics, self.atomic_conflicts
         )?;
         writeln!(f, "syncs:            {}", self.syncs)?;
+        writeln!(f, "mma ops:          {}", self.mma_ops)?;
         writeln!(
             f,
             "pcie:             {} B in {} reqs",
