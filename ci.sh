@@ -95,6 +95,25 @@ echo "== scale_bench smoke (replay-gate sweep at scale 14) =="
 # hosts the sharded path cannot win wall-clock and is only recorded).
 cargo run --release -q -p sage-bench --bin scale_bench -- --smoke --out BENCH_scale_smoke.json
 test -s BENCH_scale_smoke.json || { echo "BENCH_scale_smoke.json missing"; exit 1; }
+
+echo "== perf regression: scale-smoke 4-thread speedup vs recorded baseline =="
+# Recorded on a >= 4-core host from BENCH_scale.json's smoke-equivalent row;
+# ratchet upward when the replay backend improves. On hosts without 4 cores
+# the sharded path cannot win wall-clock, so the gate is skipped (the smoke
+# JSON's speedup_enforced/speedup_enforced_reason fields say the same).
+SCALE_SMOKE_BASELINE="1.0"
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "$CORES" -ge 4 ]; then
+  SPEEDUP=$(grep -o '"threads": 4[^}]*' BENCH_scale_smoke.json \
+    | grep -o '"speedup_vs_1t": [0-9.]*' | head -1 | grep -o '[0-9.]*$')
+  echo "4-thread speedup_vs_1t: ${SPEEDUP} (baseline ${SCALE_SMOKE_BASELINE}, ${CORES} cores)"
+  awk -v s="$SPEEDUP" -v b="$SCALE_SMOKE_BASELINE" 'BEGIN { exit !(s+0 >= b+0) }' || {
+    echo "FAIL: 4-thread speedup ${SPEEDUP} dropped below baseline ${SCALE_SMOKE_BASELINE}"
+    exit 1
+  }
+else
+  echo "SKIP: host has ${CORES} core(s) (< 4) — sharded replay has no cores to win on; speedup gate not enforced"
+fi
 rm -f BENCH_scale_smoke.json
 
 echo "CI OK"

@@ -143,7 +143,8 @@ fn row_json(
          \"placement\": \"{}\", \"threads\": {threads}, \"sim_seconds\": {:.9}, \
          \"gteps\": {:.4}, \"host_seconds\": {:.6}, \"speedup_vs_1t\": {speedup:.4}, \
          \"bitwise_identical_to_1t\": {bitwise}, \
-         \"gate\": \"{}\", \"recorded_probes\": {}, \
+         \"gate\": \"{}\", \"recorded_probes\": {}, \"elided_probes\": {}, \
+         \"elision\": {:.4}, \
          \"l2_probes\": {}, \"parallel_replays\": {}, \"inline_replays\": {}, \
          \"l1_absorption\": {:.4}, \"arena_mib\": {:.2}}}",
         csr.num_nodes(),
@@ -154,6 +155,8 @@ fn row_json(
         out.report.host_seconds,
         gate_decision(threads, &out.replay),
         out.replay.recorded_probes,
+        out.replay.elided_probes,
+        out.replay.elision(),
         out.replay.l2_probes,
         out.replay.parallel_replays,
         out.replay.inline_replays,
@@ -371,9 +374,18 @@ fn main() {
         )
     };
 
+    let speedup_reason = if speedup_enforced {
+        format!("host has {host_cores} cores (>= 4): parallel-replay speedup gated")
+    } else {
+        format!(
+            "host has {host_cores} core(s) (< 4): sharded replay has no cores to \
+             spread across, rows recorded but speedup not gated"
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"host_cores\": {host_cores},\n  \
-         \"speedup_enforced\": {speedup_enforced},\n  \"edge_factor\": {},\n  \
+         \"speedup_enforced\": {speedup_enforced},\n  \
+         \"speedup_enforced_reason\": \"{speedup_reason}\",\n  \"edge_factor\": {},\n  \
          \"rows\": [\n    {}\n  ]{ooc_json}{sanitize_json}\n}}\n",
         args.edge_factor,
         rows.join(",\n    "),

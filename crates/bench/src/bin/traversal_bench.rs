@@ -22,7 +22,7 @@
 use gpu_sim::{Device, DeviceConfig};
 use sage::app::{Bfs, Cc, PageRank};
 use sage::engine::ResidentEngine;
-use sage::{DeviceGraph, RunReport, Runner};
+use sage::{DeviceGraph, DirectionPolicy, RunReport, Runner};
 use sage_graph::gen::{social_graph, SocialParams};
 use sage_graph::Csr;
 
@@ -39,18 +39,13 @@ fn run_app(
     csr: &Csr,
     app_name: &str,
     source: u32,
-    push_only: bool,
+    runner: &Runner,
     threads: usize,
 ) -> (RunReport, Vec<u32>) {
     let mut dev = Device::new(DeviceConfig::scaled_rtx_8000(0.05));
     dev.set_host_threads(threads);
     let g = DeviceGraph::upload(&mut dev, csr.clone()).with_in_edges(&mut dev);
     let mut engine = ResidentEngine::new();
-    let runner = if push_only {
-        Runner::push_only()
-    } else {
-        Runner::new()
-    };
     match app_name {
         "bfs" => {
             let mut app = Bfs::new(&mut dev);
@@ -143,8 +138,8 @@ fn main() {
     let mut failed = false;
     let mut app_jsons: Vec<String> = Vec::new();
     for app in ["bfs", "pr", "cc"] {
-        let (push, out_push) = run_app(&csr, app, source, true, host_threads);
-        let (adaptive, out_adaptive) = run_app(&csr, app, source, false, host_threads);
+        let (push, out_push) = run_app(&csr, app, source, &Runner::push_only(), host_threads);
+        let (adaptive, out_adaptive) = run_app(&csr, app, source, &Runner::new(), host_threads);
         let identical = out_push == out_adaptive;
         let speedup = push.seconds / adaptive.seconds.max(f64::MIN_POSITIVE);
         println!(
@@ -209,12 +204,54 @@ fn main() {
         ));
     }
 
+    // ---- pull-arm coverage row: under the three-way default a dense
+    // frontier takes the matrix gear, so the scalar pull path (`<`) never
+    // shows up in the app traces above. Re-run BFS under the *two-way*
+    // adaptive policy (no matrix gear) so the same dense frontiers must
+    // flip to bottom-up, and assert at least one pull iteration so the
+    // optimizer's pull arm keeps bench coverage.
+    let two_way = Runner {
+        policy: DirectionPolicy::adaptive(),
+        ..Runner::default()
+    };
+    let (pull, out_pull) = run_app(&csr, "bfs", source, &two_way, host_threads);
+    let (push_ref, out_push_ref) = run_app(&csr, "bfs", source, &Runner::push_only(), host_threads);
+    let pull_iters = mode_count(&pull, '<');
+    println!(
+        "bfs two-way  {:>2} iters {:>9} edges examined  {:>10.6} ms  {:>7.3} GTEPS  [{}]  outputs {}",
+        pull.iterations,
+        pull.edges_examined,
+        pull.seconds * 1e3,
+        pull.gteps(),
+        pull.direction_trace,
+        if out_pull == out_push_ref { "identical" } else { "DIVERGED" },
+    );
+    if pull_iters == 0 {
+        eprintln!(
+            "FAIL: two-way adaptive BFS never pulled: {}",
+            pull.direction_trace
+        );
+        failed = true;
+    }
+    if out_pull != out_push_ref {
+        eprintln!("FAIL: two-way adaptive BFS outputs differ from push-only");
+        failed = true;
+    }
+    app_jsons.push(format!(
+        "{{\"app\": \"bfs_two_way\", \"identical_outputs\": {}, \
+         \"speedup\": {:.4}, \"push\": {}, \"adaptive\": {}}}",
+        out_pull == out_push_ref,
+        push_ref.seconds / pull.seconds.max(f64::MIN_POSITIVE),
+        report_json(&push_ref),
+        report_json(&pull),
+    ));
+
     // ---- SM-sharded host backend sweep: sequential vs threaded on the
     // same workload must agree bit for bit, while host wall-clock shrinks
     // with real cores (on a single-core host the ratio honestly hovers
     // around 1x; the JSON records whatever was measured).
-    let (seq, out_seq) = run_app(&csr, "bfs", source, false, 1);
-    let (par, out_par) = run_app(&csr, "bfs", source, false, host_threads);
+    let (seq, out_seq) = run_app(&csr, "bfs", source, &Runner::new(), 1);
+    let (par, out_par) = run_app(&csr, "bfs", source, &Runner::new(), host_threads);
     let bitwise = out_seq == out_par
         && seq.seconds.to_bits() == par.seconds.to_bits()
         && seq.edges_examined == par.edges_examined

@@ -130,7 +130,7 @@ mod tests {
         r.atomic(1024);
         let mut k = d.launch("flush");
         r.flush(&mut k.shard(0));
-        let _ = k.finish();
+        k.finish_async();
         assert!(r.is_empty());
         assert!(d.profiler().mem_requests > 0);
         assert_eq!(d.profiler().atomics, 1);
@@ -146,7 +146,7 @@ mod tests {
             }
             let mut k = d.launch("x");
             r.flush(&mut k.shard(0));
-            let _ = k.finish();
+            k.finish_async();
             d.profiler().total_sectors()
         };
         let coalesced = run((0..32).map(|i| i * 4).collect());

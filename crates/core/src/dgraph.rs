@@ -40,6 +40,11 @@ impl DeviceGraph {
     pub fn upload(dev: &mut Device, csr: Csr) -> Self {
         let offsets = dev.alloc_array::<u32>(csr.num_nodes() + 1, 0);
         let targets = dev.alloc_array::<u32>(csr.num_edges().max(1), 0);
+        // Edge lists are scanned in single-touch streaming order; when the
+        // array exceeds the L2 way capacity the device treats its reads as
+        // cache-bypassing (`ld.global.cs`) and the replay backend can elide
+        // them. Offsets stay cacheable — frontier expansion re-reads them.
+        dev.mark_streaming(targets.base(), csr.num_edges().max(1) as u64 * 4);
         Self {
             offsets_base: offsets.base(),
             targets_base: targets.base(),
@@ -75,10 +80,12 @@ impl DeviceGraph {
     pub fn with_in_edges(mut self, dev: &mut Device) -> Self {
         let rev = self.csr.reversed();
         let (in_offsets, in_targets) = match self.placement {
-            GraphPlacement::Device => (
-                dev.alloc_array::<u32>(rev.num_nodes() + 1, 0).base(),
-                dev.alloc_array::<u32>(rev.num_edges().max(1), 0).base(),
-            ),
+            GraphPlacement::Device => {
+                let in_off = dev.alloc_array::<u32>(rev.num_nodes() + 1, 0).base();
+                let in_tgt = dev.alloc_array::<u32>(rev.num_edges().max(1), 0).base();
+                dev.mark_streaming(in_tgt, rev.num_edges().max(1) as u64 * 4);
+                (in_off, in_tgt)
+            }
             GraphPlacement::Host => (
                 dev.alloc_host_array::<u32>(rev.num_nodes() + 1, 0).base(),
                 dev.alloc_host_array::<u32>(rev.num_edges().max(1), 0)

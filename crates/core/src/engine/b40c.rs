@@ -149,7 +149,7 @@ impl Engine for B40cEngine {
                 );
             }
         }
-        let _ = k.finish();
+        k.finish_async();
         out
     }
 }

@@ -67,7 +67,7 @@ impl Engine for GunrockEngine {
                     prefix.push(prefix.last().unwrap() + g.csr().degree(f) as u64);
                 }
             }
-            let _ = k.finish();
+            k.finish_async();
         }
         let total_edges = *prefix.last().unwrap();
 
@@ -135,7 +135,7 @@ impl Engine for GunrockEngine {
                 pos += u64::from(len);
             }
         }
-        let _ = k.finish();
+        k.finish_async();
         out
     }
 }

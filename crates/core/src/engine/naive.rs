@@ -92,7 +92,7 @@ impl Engine for NaiveEngine {
                 );
             }
         }
-        let _ = k.finish();
+        k.finish_async();
         out
     }
 

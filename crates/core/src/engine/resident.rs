@@ -240,7 +240,7 @@ impl Engine for ResidentEngine {
                     }
                 }
             }
-            let _ = k.finish();
+            k.finish_async();
         }
         // Table 3 reports the *scheduling* share; the fixed kernel-launch
         // cost is not scheduling work, so it is excluded.
@@ -298,7 +298,7 @@ impl Engine for ResidentEngine {
                     &mut scratch,
                 );
             }
-            let _ = k.finish();
+            k.finish_async();
         }
         out
     }

@@ -198,7 +198,7 @@ impl Engine for TiledPartitioningEngine {
             );
         }
 
-        let _ = k.finish();
+        k.finish_async();
         out.overhead_seconds = overhead_insts as f64 / issue / clock;
         out
     }

@@ -258,7 +258,7 @@ pub fn matrix_iterate(
         );
     }
 
-    let _ = k.finish();
+    k.finish_async();
     out.overhead_seconds = overhead_insts as f64 / issue / clock;
     out
 }

@@ -77,7 +77,7 @@ impl Engine for SubwayEngine {
             // account the traffic in the profiler
             let mut k = dev.launch("subway_preload");
             k.pcie_traffic(bytes, bytes.div_ceil(1 << 20).max(1));
-            let _ = k.finish();
+            k.finish_async();
         }
 
         // 3. GPU kernel over the densely packed device-local subgraph
@@ -124,7 +124,7 @@ impl Engine for SubwayEngine {
                     }
                 }
             }
-            let _ = k.finish();
+            k.finish_async();
         }
         self.prev_compute = dev.elapsed_seconds() - compute_start;
         out

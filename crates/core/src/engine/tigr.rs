@@ -150,7 +150,7 @@ impl Engine for TigrEngine {
             .count();
         if split_frontiers > 0 {
             // the intermediate level is a separate kernel in Tigr's design
-            let _ = k.finish();
+            k.finish_async();
             k = dev.launch("tigr_virtual_level");
             k.set_concurrency(k.cfg().max_resident_warps as f64);
             // per-virtual frontier maintenance: write + read back the
@@ -187,7 +187,7 @@ impl Engine for TigrEngine {
                 &mut scratch,
             );
         }
-        let _ = k.finish();
+        k.finish_async();
         out
     }
 }

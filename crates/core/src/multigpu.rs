@@ -135,9 +135,8 @@ impl MultiGpuDriver {
     }
 
     /// The device hosting partition `i`.
-    #[must_use]
-    pub fn device(&self, i: usize) -> &Device {
-        &self.devices[i]
+    pub fn device(&mut self, i: usize) -> &mut Device {
+        &mut self.devices[i]
     }
 
     /// Owning partition of a node.
@@ -155,7 +154,7 @@ impl MultiGpuDriver {
         let hazard_start: Vec<usize> = self.devices.iter().map(Device::hazard_count).collect();
         let start = self
             .devices
-            .iter()
+            .iter_mut()
             .map(Device::elapsed_seconds)
             .fold(0.0f64, f64::max);
 
@@ -200,7 +199,7 @@ impl MultiGpuDriver {
             // bulk-synchronous step: align clocks, pay the exchange
             let max_t = self
                 .devices
-                .iter()
+                .iter_mut()
                 .map(Device::elapsed_seconds)
                 .fold(0.0, f64::max);
             for dev in &mut self.devices {
@@ -230,7 +229,7 @@ impl MultiGpuDriver {
                     for sm in 0..k.num_sms() {
                         k.exec_uniform(sm, per_dev.div_ceil(32 * k.num_sms() as u64).max(1));
                     }
-                    let _ = k.finish();
+                    k.finish_async();
                 }
             }
 
@@ -251,7 +250,7 @@ impl MultiGpuDriver {
 
         let seconds = self
             .devices
-            .iter()
+            .iter_mut()
             .map(Device::elapsed_seconds)
             .fold(0.0f64, f64::max)
             - start;
@@ -449,7 +448,7 @@ mod tests {
     #[test]
     fn driver_reports_ownership() {
         let csr = graph();
-        let driver = MultiGpuDriver::new(
+        let mut driver = MultiGpuDriver::new(
             MultiGpuConfig {
                 gpus: 2,
                 kind: MgKind::Sage,

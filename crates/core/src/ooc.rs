@@ -179,7 +179,7 @@ impl Engine for UmOocEngine {
                 }
             }
         }
-        let _ = k.finish();
+        k.finish_async();
         out
     }
 

@@ -310,7 +310,7 @@ impl Runner {
                     next.dedup();
                 }
                 charge_contraction(&mut k, next.len(), frontier_buf.base());
-                let _ = k.finish();
+                k.finish_async();
             }
 
             if track {
@@ -369,7 +369,7 @@ impl Runner {
             // materialization
             k.access_range(sm, AccessKind::Read, base + done * 4, n, 4);
         }
-        let _ = k.finish();
+        k.finish_async();
     }
 }
 

@@ -310,7 +310,7 @@ impl WalkEngine {
                 rec.flush(&mut sh);
             }
         }
-        let _ = k.finish();
+        k.finish_async();
 
         let report = RunReport {
             app: app.name().to_owned(),
@@ -432,7 +432,7 @@ impl WalkEngine {
             k.access_range(sm, AccessKind::Write, prob.addr(lo), cnt, 4);
             k.access_range(sm, AccessKind::Write, alias_idx.addr(lo), cnt, 4);
         }
-        let _ = k.finish();
+        k.finish_async();
         self.alias = Some(AliasCache {
             epoch,
             weights,

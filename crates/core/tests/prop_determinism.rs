@@ -130,10 +130,11 @@ fn run_once(
             (r, a.ranks().iter().map(|p| p.to_bits()).collect())
         }
     };
+    let cycles = dev.elapsed_cycles();
     let p = dev.profiler();
     Fingerprint {
         outputs,
-        sim_cycles: dev.elapsed_cycles().to_bits(),
+        sim_cycles: cycles.to_bits(),
         report_seconds: report.seconds.to_bits(),
         l1_hits: p.l1_hit_sectors,
         l2_hits: p.l2_hit_sectors,

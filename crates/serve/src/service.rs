@@ -7,7 +7,7 @@ use crate::types::{
     GraphId, QueryRequest, QueryResponse, ServiceConfig, ServiceError, Ticket, TicketState,
 };
 use crate::worker::{cache_hit_report, GraphEntry, Registry, StatsSlots, Worker};
-use gpu_sim::{device_pool, Profiler};
+use gpu_sim::{device_pool, Profiler, ReplayStats};
 use sage::LatencyBreakdown;
 use sage_graph::Csr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +33,23 @@ pub struct ServiceStats {
     /// Total race-sanitizer hazards across all devices, as of each worker's
     /// last batch (always 0 when sanitizing is disabled).
     pub hazards: u64,
+    /// Per-device trace/replay host telemetry (probe/elision counts, arena
+    /// high-water bytes), as of each worker's last batch — lets serving
+    /// deployments watch replay memory alongside throughput.
+    pub device_replay: Vec<ReplayStats>,
+}
+
+impl ServiceStats {
+    /// Largest replay-arena high-water mark across the device pool, in MiB.
+    #[must_use]
+    pub fn arena_high_water_mib(&self) -> f64 {
+        self.device_replay
+            .iter()
+            .map(|r| r.arena_bytes)
+            .max()
+            .unwrap_or(0) as f64
+            / (1024.0 * 1024.0)
+    }
 }
 
 /// A running traversal-query service over a pool of simulated devices.
@@ -57,6 +74,7 @@ pub struct SageService {
     workers: Vec<JoinHandle<()>>,
     profiles: Vec<Arc<Mutex<Profiler>>>,
     hazard_slots: Vec<Arc<AtomicU64>>,
+    replay_slots: Vec<Arc<Mutex<ReplayStats>>>,
 }
 
 impl SageService {
@@ -71,6 +89,7 @@ impl SageService {
         let cache = Arc::new(ResultCache::new(cfg.cache_capacity));
         let mut profiles = Vec::with_capacity(cfg.devices);
         let mut hazard_slots = Vec::with_capacity(cfg.devices);
+        let mut replay_slots = Vec::with_capacity(cfg.devices);
         let mut workers = Vec::with_capacity(cfg.devices);
         let mut device_config = cfg.device_config.clone();
         device_config.sanitize |= cfg.sanitize;
@@ -82,6 +101,8 @@ impl SageService {
             profiles.push(Arc::clone(&slot));
             let hazard_slot = Arc::new(AtomicU64::new(0));
             hazard_slots.push(Arc::clone(&hazard_slot));
+            let replay_slot = Arc::new(Mutex::new(ReplayStats::default()));
+            replay_slots.push(Arc::clone(&replay_slot));
             let worker = Worker::new(
                 id,
                 dev,
@@ -92,6 +113,7 @@ impl SageService {
                 StatsSlots {
                     profile: slot,
                     hazards: hazard_slot,
+                    replay: replay_slot,
                 },
             );
             workers.push(
@@ -109,6 +131,7 @@ impl SageService {
             workers,
             profiles,
             hazard_slots,
+            replay_slots,
         }
     }
 
@@ -252,6 +275,11 @@ impl SageService {
                 .iter()
                 .map(|slot| slot.load(Ordering::Acquire))
                 .sum(),
+            device_replay: self
+                .replay_slots
+                .iter()
+                .map(|slot| slot.lock().unwrap().clone())
+                .collect(),
         }
     }
 

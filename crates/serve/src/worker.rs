@@ -10,7 +10,7 @@ use crate::queue::{BatchLimits, JobQueue, PendingQuery};
 use crate::types::{
     AppKind, GraphId, QueryResponse, ResultValues, ServiceConfig, ServiceError, WalkAppKind,
 };
-use gpu_sim::{Device, Profiler};
+use gpu_sim::{Device, Profiler, ReplayStats};
 use sage::app::{Bc, Bfs, Cc, PageRank};
 use sage::walk::{Node2vec, Ppr, WalkApp, WalkSpec};
 use sage::{LatencyBreakdown, RunReport, SageRuntime};
@@ -39,6 +39,9 @@ pub(crate) struct StatsSlots {
     pub(crate) profile: Arc<Mutex<Profiler>>,
     /// Cumulative sanitizer hazard count of the worker's device.
     pub(crate) hazards: Arc<AtomicU64>,
+    /// Trace/replay host telemetry (probe/elision counts, arena high-water)
+    /// of the worker's device.
+    pub(crate) replay: Arc<Mutex<ReplayStats>>,
 }
 
 /// Lazily constructed single-source apps, reused across batches so their
@@ -103,6 +106,7 @@ impl Worker {
         while let Some(batch) = queue.pop_batch(self.id, limits) {
             self.process_batch(batch);
             *self.slots.profile.lock().unwrap() = self.dev.profiler_snapshot();
+            *self.slots.replay.lock().unwrap() = self.dev.replay_stats().clone();
             self.slots
                 .hazards
                 .store(self.dev.hazard_count() as u64, Ordering::Release);

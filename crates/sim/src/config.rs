@@ -198,6 +198,25 @@ pub struct DeviceConfig {
     /// never changes simulated results, only host-side execution.
     pub replay_gate: usize,
 
+    /// Charge reads of registered streaming regions (see
+    /// [`crate::device::Device::mark_streaming`]) eagerly as DRAM sectors
+    /// instead of recording them as replay probes. Streaming reads bypass
+    /// the cache hierarchy on *every* backend (they model `ld.global.cs`
+    /// no-allocate loads), so this toggle only moves host-side work: on, the
+    /// probes are charged at record time; off, they ride the trace streams
+    /// and are charged during replay. Overridable by `SAGE_ELISION` and
+    /// [`crate::device::Device::set_elide_streaming`].
+    pub elide_streaming: bool,
+
+    /// Overlap the replay of one traced kernel with the recording of the
+    /// next: kernels at or above the replay gate hand their probe streams
+    /// and the cache hierarchy to a background replay thread, and every
+    /// observable read on the device joins it first (a deterministic
+    /// barrier), so results are bitwise identical to synchronous replay.
+    /// Overridable by `SAGE_ASYNC_REPLAY` and
+    /// [`crate::device::Device::set_async_replay`].
+    pub async_replay: bool,
+
     /// Simulated device-memory capacity in bytes. The allocator does not
     /// enforce it (simulated arrays carry no data); placement policies use
     /// it to decide whether a graph is uploaded to device memory or routed
@@ -213,6 +232,14 @@ mod defaults {
 
     pub(super) fn memory_bytes() -> u64 {
         48 * 1024 * 1024 * 1024
+    }
+
+    pub(super) fn elide_streaming() -> bool {
+        true
+    }
+
+    pub(super) fn async_replay() -> bool {
+        true
     }
 }
 
@@ -259,6 +286,8 @@ impl DeviceConfig {
             peer: PeerLinkConfig::default(),
             sanitize: false,
             replay_gate: defaults::replay_gate(),
+            elide_streaming: defaults::elide_streaming(),
+            async_replay: defaults::async_replay(),
             memory_bytes: defaults::memory_bytes(),
         }
     }
@@ -330,6 +359,8 @@ impl DeviceConfig {
             peer: PeerLinkConfig::default(),
             sanitize: false,
             replay_gate: defaults::replay_gate(),
+            elide_streaming: defaults::elide_streaming(),
+            async_replay: defaults::async_replay(),
             // tiny device, tiny memory: placement tests can exceed it
             memory_bytes: 4 * 1024 * 1024,
         }

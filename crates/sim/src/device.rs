@@ -2,12 +2,13 @@
 
 use crate::cache::{Probe, SectorCache, SlicedCache};
 use crate::config::DeviceConfig;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, ReplayDone};
 use crate::mem::{Allocator, DeviceArray, MemSpace};
 use crate::profile::{Profiler, ReplayStats};
 use crate::sanitizer::{Hazard, HazardReport};
 use crate::trace::TraceArena;
 use std::collections::HashMap;
+use std::thread::JoinHandle;
 
 /// Resolve the sanitizer switch: the `SAGE_SANITIZE` environment variable
 /// overrides [`DeviceConfig::sanitize`] when set (`0` / `false` / `off` /
@@ -34,6 +35,40 @@ pub fn default_replay_gate(cfg_default: usize) -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(cfg_default)
+}
+
+/// Resolve the streaming-probe-elision switch: the `SAGE_ELISION`
+/// environment variable overrides [`DeviceConfig::elide_streaming`] when set
+/// (`0` / `false` / `off` / `no` / empty disable, anything else enables).
+/// Streaming reads bypass the caches either way — elision only decides
+/// whether they are charged eagerly at record time or carried through the
+/// replay streams, so simulated results are bitwise identical on both sides.
+#[must_use]
+pub fn default_elide_streaming(cfg_default: bool) -> bool {
+    match std::env::var("SAGE_ELISION") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off" | "no"
+        ),
+        Err(_) => cfg_default,
+    }
+}
+
+/// Resolve the asynchronous-replay switch: the `SAGE_ASYNC_REPLAY`
+/// environment variable overrides [`DeviceConfig::async_replay`] when set
+/// (`0` / `false` / `off` / `no` / empty disable, anything else enables).
+/// Async replay overlaps a kernel's replay with the next kernel's recording;
+/// every observable device read joins the in-flight replay first, so results
+/// are bitwise identical to synchronous replay.
+#[must_use]
+pub fn default_async_replay(cfg_default: bool) -> bool {
+    match std::env::var("SAGE_ASYNC_REPLAY") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off" | "no"
+        ),
+        Err(_) => cfg_default,
+    }
 }
 
 /// Resolve the default host-thread count for kernel simulation:
@@ -64,6 +99,7 @@ pub struct Device {
     host_alloc: Allocator,
     l1: Vec<SectorCache>,
     l2: SlicedCache,
+    l2_slices: usize,
     profiler: Profiler,
     elapsed_cycles: f64,
     kernel_times: HashMap<String, (u64, f64)>,
@@ -71,8 +107,29 @@ pub struct Device {
     sanitize: bool,
     hazards: Vec<Hazard>,
     replay_gate: usize,
-    trace_arena: TraceArena,
+    elide: bool,
+    async_replay: bool,
+    /// Half-open streaming regions in sector units: reads landing inside are
+    /// charged as compulsory DRAM misses and never probe the caches.
+    streaming: Vec<(u64, u64)>,
+    /// Double-buffered trace arenas: one can ride an in-flight async replay
+    /// while the next kernel records into the other.
+    arena_pool: Vec<TraceArena>,
+    /// The in-flight asynchronous replay, if any. Joined (and its results
+    /// applied, in launch order) before any observable state is read.
+    pending: Option<JoinHandle<ReplayDone>>,
     replay_stats: ReplayStats,
+}
+
+/// The cache hierarchy a replay mutates, moved out of the device for the
+/// duration of one (possibly asynchronous) replay and installed back when it
+/// completes. Taking it joins any in-flight replay first, so replays apply
+/// in launch order.
+pub(crate) struct ReplayCaches {
+    /// Per-SM private L1s.
+    pub(crate) l1: Vec<SectorCache>,
+    /// The shared sliced L2.
+    pub(crate) l2: SlicedCache,
 }
 
 impl Device {
@@ -84,14 +141,18 @@ impl Device {
             .map(|_| SectorCache::new(cfg.l1.lines(cfg.line_bytes), cfg.l1.ways, spl))
             .collect();
         let l2 = SlicedCache::new(cfg.l2.lines(cfg.line_bytes), cfg.l2.ways, spl);
+        let l2_slices = l2.num_slices();
         let host_threads = default_host_threads(cfg.num_sms);
         let sanitize = default_sanitize(cfg.sanitize);
         let replay_gate = default_replay_gate(cfg.replay_gate);
+        let elide = default_elide_streaming(cfg.elide_streaming);
+        let async_replay = default_async_replay(cfg.async_replay);
         Self {
             device_alloc: Allocator::new(MemSpace::Device),
             host_alloc: Allocator::new(MemSpace::Host),
             l1,
             l2,
+            l2_slices,
             profiler: Profiler::default(),
             elapsed_cycles: 0.0,
             kernel_times: HashMap::new(),
@@ -99,7 +160,11 @@ impl Device {
             sanitize,
             hazards: Vec::new(),
             replay_gate,
-            trace_arena: TraceArena::default(),
+            elide,
+            async_replay,
+            streaming: Vec::new(),
+            arena_pool: vec![TraceArena::default(), TraceArena::default()],
+            pending: None,
             replay_stats: ReplayStats::default(),
             cfg,
         }
@@ -152,6 +217,7 @@ impl Device {
     /// routes kernels through the SM-sharded trace/replay backend. Either
     /// way the simulated results are bitwise identical.
     pub fn set_host_threads(&mut self, threads: usize) {
+        self.sync_replay();
         self.host_threads = threads.clamp(1, self.cfg.num_sms.max(1));
     }
 
@@ -170,10 +236,75 @@ impl Device {
     }
 
     /// Host-side trace/replay telemetry accumulated since construction (or
-    /// the last [`Self::reset_profiler`]).
-    #[must_use]
-    pub fn replay_stats(&self) -> &ReplayStats {
+    /// the last [`Self::reset_profiler`]). Joins any in-flight async replay.
+    pub fn replay_stats(&mut self) -> &ReplayStats {
+        self.sync_replay();
         &self.replay_stats
+    }
+
+    /// Whether streaming reads are elided from the replay streams (charged
+    /// eagerly as compulsory DRAM misses at record time).
+    #[must_use]
+    pub fn elide_streaming(&self) -> bool {
+        self.elide
+    }
+
+    /// Toggle streaming-probe elision for subsequent launches. Bypassing
+    /// streaming reads never touch cache state in any mode, so simulated
+    /// results are bitwise identical on both sides — the switch only moves
+    /// host-side work out of (or back into) the replay streams.
+    pub fn set_elide_streaming(&mut self, on: bool) {
+        self.elide = on;
+    }
+
+    /// Whether replays of at-or-above-gate kernels may run asynchronously,
+    /// overlapped with the next kernel's recording.
+    #[must_use]
+    pub fn async_replay_enabled(&self) -> bool {
+        self.async_replay
+    }
+
+    /// Toggle asynchronous replay for subsequent launches. Joins any replay
+    /// already in flight. Results are bitwise identical either way — every
+    /// observable read is a deterministic join barrier.
+    pub fn set_async_replay(&mut self, on: bool) {
+        self.sync_replay();
+        self.async_replay = on;
+    }
+
+    /// Register `[base, base + bytes)` as a single-touch streaming region —
+    /// a range scanned at most once per kernel with no expectation of reuse
+    /// (CSR adjacency arrays are the canonical case). Regions smaller than
+    /// one L2 way (`l2.capacity_bytes / l2.ways`) are ignored: they could
+    /// plausibly stay resident, so their probes keep full cache semantics.
+    /// Reads inside a registered region model `ld.global.cs` no-allocate
+    /// loads: they bypass L1 and L2 on every backend and are charged as
+    /// compulsory DRAM misses, which is what makes them order-insensitive
+    /// and therefore elidable from the replay streams. Writes are
+    /// unaffected.
+    pub fn mark_streaming(&mut self, base: u64, bytes: u64) {
+        let way_bytes = ((self.cfg.l2.capacity_bytes / self.cfg.l2.ways.max(1)).max(1)) as u64;
+        if bytes < way_bytes {
+            return;
+        }
+        let sector = (self.cfg.sector_bytes.max(1)) as u64;
+        self.streaming
+            .push((base / sector, (base + bytes).div_ceil(sector)));
+    }
+
+    /// Number of registered streaming regions (telemetry/tests).
+    #[must_use]
+    pub fn streaming_region_count(&self) -> usize {
+        self.streaming.len()
+    }
+
+    /// Whether `sector` falls in a registered streaming region. Graphs
+    /// register a handful of regions, so a linear scan beats any index.
+    #[inline]
+    pub(crate) fn is_streaming_sector(&self, sector: u64) -> bool {
+        self.streaming
+            .iter()
+            .any(|&(lo, hi)| sector >= lo && sector < hi)
     }
 
     /// Whether `bytes` of graph data fit the simulated device memory next
@@ -184,25 +315,39 @@ impl Device {
         self.device_alloc.used_bytes().saturating_add(bytes) <= self.cfg.memory_bytes
     }
 
-    /// Take the device's trace arena for one traced launch, sized for the
-    /// current SM and L2-slice geometry with every stream empty. Returned
-    /// via [`Self::return_trace_arena`] so grown capacity is reused.
+    /// Take a trace arena for one traced launch, sized for the current SM
+    /// and L2-slice geometry with every stream empty. The pool is
+    /// double-buffered so one arena can sit in an in-flight async replay
+    /// while the next kernel records into the other; when both are out the
+    /// in-flight replay is joined first. Returned via
+    /// [`Self::return_trace_arena`] so grown capacity is reused.
     pub(crate) fn take_trace_arena(&mut self) -> TraceArena {
-        let mut arena = std::mem::take(&mut self.trace_arena);
-        arena.reset(self.cfg.num_sms, self.l2.num_slices());
+        if self.arena_pool.is_empty() {
+            self.sync_replay();
+        }
+        let mut arena = self.arena_pool.pop().unwrap_or_default();
+        arena.reset(self.cfg.num_sms, self.l2_slices);
         arena
     }
 
-    /// Give the arena back after replay (capacity is retained).
+    /// Give an arena back after replay (capacity is retained).
     pub(crate) fn return_trace_arena(&mut self, arena: TraceArena) {
-        self.trace_arena = arena;
+        self.arena_pool.push(arena);
     }
 
     /// Account one traced-kernel replay in [`Self::replay_stats`].
-    pub(crate) fn note_replay(&mut self, recorded: u64, l2: u64, parallel: bool, arena_bytes: u64) {
+    pub(crate) fn note_replay(
+        &mut self,
+        recorded: u64,
+        elided: u64,
+        l2: u64,
+        parallel: bool,
+        arena_bytes: u64,
+    ) {
         let s = &mut self.replay_stats;
         s.traced_kernels += 1;
         s.recorded_probes += recorded;
+        s.elided_probes += elided;
         s.l2_probes += l2;
         if parallel {
             s.parallel_replays += 1;
@@ -210,6 +355,46 @@ impl Device {
             s.inline_replays += 1;
         }
         s.arena_bytes = s.arena_bytes.max(arena_bytes);
+    }
+
+    /// Move the cache hierarchy out for one replay, joining any replay
+    /// already in flight first (launch-order discipline: kernel N's probes
+    /// must land in the caches before kernel N+1's replay reads them).
+    pub(crate) fn take_replay_caches(&mut self) -> ReplayCaches {
+        self.sync_replay();
+        ReplayCaches {
+            l1: std::mem::take(&mut self.l1),
+            l2: std::mem::replace(&mut self.l2, SlicedCache::new(1, 1, 1)),
+        }
+    }
+
+    /// Install the cache hierarchy back after a replay completed.
+    pub(crate) fn install_replay_caches(&mut self, caches: ReplayCaches) {
+        self.l1 = caches.l1;
+        self.l2 = caches.l2;
+    }
+
+    /// Park an asynchronous replay. At most one may be in flight; callers
+    /// go through [`Self::take_replay_caches`] first, which joins any
+    /// previous one.
+    pub(crate) fn set_pending_replay(&mut self, handle: JoinHandle<ReplayDone>) {
+        debug_assert!(
+            self.pending.is_none(),
+            "only one async replay may be in flight"
+        );
+        self.pending = Some(handle);
+    }
+
+    /// Deterministic join barrier: wait for the in-flight async replay (if
+    /// any) and apply its results — caches, profiler charge, clock, replay
+    /// telemetry — exactly as the synchronous path would have. Every
+    /// observable read on the device funnels through here, so async replay
+    /// is invisible to simulated results.
+    pub(crate) fn sync_replay(&mut self) {
+        if let Some(handle) = self.pending.take() {
+            let done = handle.join().expect("async replay thread panicked");
+            done.apply(self);
+        }
     }
 
     /// A default-configured device (Quadro RTX 8000).
@@ -257,8 +442,14 @@ impl Device {
     }
 
     /// Probe one sector through L1(sm) then L2, filling on the way.
-    /// Returns `(l1_probe, l2_probe_if_missed_l1)`.
+    /// Returns `(l1_probe, l2_probe_if_missed_l1)`. Only the sequential
+    /// (1-host-thread) backend probes inline, and sequential kernels can
+    /// never coexist with an in-flight async replay — assert that.
     pub(crate) fn probe_memory(&mut self, sm: usize, sector: u64) -> (Probe, Option<Probe>) {
+        debug_assert!(
+            self.pending.is_none(),
+            "inline probe with a replay in flight"
+        );
         let n = self.l1.len();
         let p1 = self.l1[sm % n].access(sector);
         if p1 == Probe::Hit {
@@ -271,22 +462,11 @@ impl Device {
 
     /// Probe L2 directly (atomics resolve in L2).
     pub(crate) fn probe_l2_only(&mut self, sector: u64) -> Probe {
+        debug_assert!(
+            self.pending.is_none(),
+            "inline probe with a replay in flight"
+        );
         self.l2.access(sector)
-    }
-
-    /// Per-SM L1 caches, for parallel per-shard replay.
-    pub(crate) fn l1_caches_mut(&mut self) -> &mut [SectorCache] {
-        &mut self.l1
-    }
-
-    /// The sliced L2, for parallel per-slice replay.
-    pub(crate) fn l2_mut(&mut self) -> &mut SlicedCache {
-        &mut self.l2
-    }
-
-    /// The sliced L2 (read-only view: slice geometry).
-    pub(crate) fn l2_ref(&self) -> &SlicedCache {
-        &self.l2
     }
 
     pub(crate) fn charge(&mut self, totals: &Profiler, cycles: f64) {
@@ -302,8 +482,9 @@ impl Device {
 
     /// Per-kernel-name `(launches, seconds)` breakdown, sorted by time
     /// descending — the where-did-the-time-go view a profiler gives.
-    #[must_use]
-    pub fn kernel_breakdown(&self) -> Vec<(String, u64, f64)> {
+    /// Joins any in-flight async replay.
+    pub fn kernel_breakdown(&mut self) -> Vec<(String, u64, f64)> {
+        self.sync_replay();
         let mut v: Vec<(String, u64, f64)> = self
             .kernel_times
             .iter()
@@ -314,52 +495,62 @@ impl Device {
     }
 
     /// Advance the simulated clock by host-side seconds (PCIe transfers,
-    /// peer synchronisation, CPU work overlapping nothing).
+    /// peer synchronisation, CPU work overlapping nothing). Joins any
+    /// in-flight async replay first so clock additions keep launch order
+    /// (floating-point accumulation order is observable bitwise).
     pub fn advance_seconds(&mut self, seconds: f64) {
+        self.sync_replay();
         self.elapsed_cycles += seconds * self.cfg.clock_hz;
     }
 
-    /// Simulated time elapsed since construction or the last [`Self::reset_clock`].
-    #[must_use]
-    pub fn elapsed_seconds(&self) -> f64 {
+    /// Simulated time elapsed since construction or the last
+    /// [`Self::reset_clock`]. Joins any in-flight async replay.
+    pub fn elapsed_seconds(&mut self) -> f64 {
+        self.sync_replay();
         self.cfg.cycles_to_seconds(self.elapsed_cycles)
     }
 
-    /// Simulated cycles elapsed.
-    #[must_use]
-    pub fn elapsed_cycles(&self) -> f64 {
+    /// Simulated cycles elapsed. Joins any in-flight async replay.
+    pub fn elapsed_cycles(&mut self) -> f64 {
+        self.sync_replay();
         self.elapsed_cycles
     }
 
-    /// Zero the clock (caches and profiler keep their state).
+    /// Zero the clock (caches and profiler keep their state). Joins any
+    /// in-flight async replay first so its cycles land before the reset.
     pub fn reset_clock(&mut self) {
+        self.sync_replay();
         self.elapsed_cycles = 0.0;
     }
 
-    /// Invalidate all caches (cold-start between unrelated runs).
+    /// Invalidate all caches (cold-start between unrelated runs). Joins any
+    /// in-flight async replay first.
     pub fn flush_caches(&mut self) {
+        self.sync_replay();
         for c in &mut self.l1 {
             c.flush();
         }
         self.l2.flush();
     }
 
-    /// Aggregated profiler counters.
-    #[must_use]
-    pub fn profiler(&self) -> &Profiler {
+    /// Aggregated profiler counters. Joins any in-flight async replay.
+    pub fn profiler(&mut self) -> &Profiler {
+        self.sync_replay();
         &self.profiler
     }
 
     /// Owned copy of the profiler counters at this instant — the form a
     /// monitoring layer ships off-thread as a per-device metrics sample.
-    #[must_use]
-    pub fn profiler_snapshot(&self) -> Profiler {
+    /// Joins any in-flight async replay.
+    pub fn profiler_snapshot(&mut self) -> Profiler {
+        self.sync_replay();
         self.profiler.clone()
     }
 
     /// Clear profiler counters (including the per-kernel breakdown and the
-    /// trace/replay telemetry).
+    /// trace/replay telemetry). Joins any in-flight async replay first.
     pub fn reset_profiler(&mut self) {
+        self.sync_replay();
         self.profiler = Profiler::default();
         self.kernel_times.clear();
         self.replay_stats = ReplayStats::default();
@@ -367,12 +558,14 @@ impl Device {
 
     /// Record peer-link traffic in the profiler (used by multi-GPU drivers).
     pub fn profiler_peer_bytes(&mut self, bytes: u64) {
+        self.sync_replay();
         self.profiler.peer_bytes += bytes;
     }
 
     /// L2 hit/miss statistics `(hits, sector_misses, line_misses)`.
-    #[must_use]
-    pub fn l2_stats(&self) -> (u64, u64, u64) {
+    /// Joins any in-flight async replay.
+    pub fn l2_stats(&mut self) -> (u64, u64, u64) {
+        self.sync_replay();
         self.l2.stats()
     }
 }

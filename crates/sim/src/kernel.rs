@@ -31,32 +31,45 @@
 //! inline, in call order, against the shared hierarchy — the original
 //! sequential path. Above 1 the kernel switches to a **trace/replay**
 //! backend: event accounting still happens inline (it is cheap and
-//! cache-independent), but sector probes are appended to compact
-//! struct-of-arrays per-SM streams (`crate::trace::TraceArena`) —
-//! the raw sector id plus a packed `seq << 1 | atomic` meta word — stamped
-//! with a global sequence number and replayed at [`Kernel::finish`] in two
-//! parallel passes: per-SM private-L1 replay (each shard owns its SM's L1,
-//! survivors land in per-`(SM, slice)` buckets already sorted by seq), then
-//! per-slice L2 replay that k-way-merges the buckets back into global probe
-//! order (each worker owns disjoint address-interleaved L2 slices, see
-//! [`crate::cache::SlicedCache`]). Stream storage lives in a per-device
+//! cache-independent), but sector probes are appended to compact packed
+//! per-SM streams (`crate::trace::TraceArena`) — one
+//! `seq << 36 | sector << 2 | bypass << 1 | atomic` word per probe —
+//! stamped with a global sequence number and replayed at
+//! [`Kernel::finish`] in two parallel passes: per-SM private-L1 replay
+//! (each shard owns its SM's L1; survivors are compacted *in place* into
+//! per-`(SM, slice)` runs already sorted by seq), then per-slice L2 replay
+//! that merges the runs back into global probe order with a dense-seq
+//! counting merge (each worker owns disjoint address-interleaved L2 slices,
+//! see [`crate::cache::SlicedCache`]). Stream storage lives in a per-device
 //! arena reused across launches, so steady-state recording never allocates.
 //! Shard counters merge in SM order, so cycles, profiler stats and cache
 //! states are bitwise identical to the sequential path. Kernels recording
 //! fewer probes than [`crate::device::Device::replay_gate`] replay inline on
 //! the calling thread — spawning shard workers would cost more than the
 //! replay itself.
+//!
+//! Two further optimisations ride on the trace/replay backend. **Probe
+//! elision**: reads of registered streaming regions
+//! ([`crate::device::Device::mark_streaming`] — CSR adjacency larger than
+//! one L2 way) bypass the cache hierarchy on every backend and are charged
+//! as compulsory DRAM misses; since their outcome cannot depend on inter-SM
+//! interleaving, the recording path charges them eagerly and never streams
+//! them (toggle: [`crate::device::Device::set_elide_streaming`]).
+//! **Asynchronous replay**: kernels at or above the replay gate may hand
+//! their streams plus the cache hierarchy to a background thread via
+//! [`Kernel::finish_async`], overlapping replay with the next kernel's
+//! recording; every observable device read joins the in-flight replay
+//! first, so results stay bitwise identical to synchronous replay (toggle:
+//! [`crate::device::Device::set_async_replay`]).
 
 use crate::cache::{Probe, SectorCache};
 use crate::config::DeviceConfig;
-use crate::device::Device;
+use crate::device::{Device, ReplayCaches};
 use crate::mem::is_host_addr;
 use crate::profile::Profiler;
 use crate::sanitizer::{HazardReport, ShadowTracker};
 use crate::trace::TraceArena;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Probe streams of an in-flight traced kernel: the device's arena plus the
@@ -66,6 +79,10 @@ struct TraceBuf {
     arena: TraceArena,
     seq: u64,
     threads: usize,
+    /// Elide streaming-bypass reads from the streams (charge eagerly).
+    elide: bool,
+    /// Probes elided so far (telemetry for `ReplayStats`).
+    elided: u64,
 }
 
 /// What a memory access does; writes also produce sector traffic
@@ -161,6 +178,8 @@ impl<'d> Kernel<'d> {
             arena: dev.take_trace_arena(),
             seq: 0,
             threads,
+            elide: dev.elide_streaming(),
+            elided: 0,
         });
         let shadow = dev.sanitize_enabled().then(|| ShadowTracker::new(sms));
         Self {
@@ -336,9 +355,24 @@ impl<'d> Kernel<'d> {
         if is_write {
             self.per_sm[sm].write_sectors += 1;
         }
+        // Streaming-region reads model `ld.global.cs` no-allocate loads:
+        // they bypass L1 and L2 on *every* backend and cost a compulsory
+        // DRAM sector. Because they never touch cache state, their outcome
+        // is independent of inter-SM interleaving — which is what lets the
+        // recording path charge them eagerly instead of streaming them.
+        let bypass = !is_write && self.dev.is_streaming_sector(s);
         if let Some(t) = &mut self.trace {
-            t.arena.record(sm, s, t.seq, false);
+            if bypass && t.elide {
+                self.per_sm[sm].dram_sectors += 1;
+                t.elided += 1;
+                return;
+            }
+            t.arena.record(sm, s, t.seq, bypass, false);
             t.seq += 1;
+            return;
+        }
+        if bypass {
+            self.per_sm[sm].dram_sectors += 1;
             return;
         }
         let outcome = self.dev.probe_memory(sm, s);
@@ -460,7 +494,7 @@ impl<'d> Kernel<'d> {
         for i in 0..self.scratch_sectors.len() {
             let s = self.scratch_sectors[i];
             if let Some(t) = &mut self.trace {
-                t.arena.record(sm, s, t.seq, true);
+                t.arena.record(sm, s, t.seq, false, true);
                 t.seq += 1;
                 continue;
             }
@@ -515,12 +549,31 @@ impl<'d> Kernel<'d> {
     }
 
     /// Convert accumulated events into time, charge the device clock and
-    /// profiler, and return the report.
-    pub fn finish(mut self) -> KernelReport {
-        let host_threads = self.trace.as_ref().map_or(1, |t| t.threads);
-        if let Some(trace) = self.trace.take() {
-            replay_trace(self.dev, trace, &mut self.per_sm);
-        }
+    /// profiler, and return the report. Synchronous: any in-flight async
+    /// replay is joined first (launch order), then this kernel's own replay
+    /// runs to completion before the report is built.
+    pub fn finish(self) -> KernelReport {
+        self.finalize(false)
+            .expect("synchronous finish always yields a report")
+    }
+
+    /// Like [`Kernel::finish`], but a traced kernel at or above the replay
+    /// gate hands its probe streams and the cache hierarchy to a background
+    /// replay thread instead of blocking — the next kernel can record while
+    /// this one replays. The report is folded into the device at the next
+    /// observable read (a deterministic join barrier), so callers that
+    /// discard the report lose nothing. Kernels below the gate, sequential
+    /// kernels, and devices with async replay disabled finish synchronously.
+    pub fn finish_async(self) {
+        let _ = self.finalize(true);
+    }
+
+    /// Shared finish path. Hazards are always resolved synchronously here
+    /// (the shadow tracker is cache-independent); the replay + cycle
+    /// computation either runs inline or is deferred to a thread, but both
+    /// routes execute the exact same code on the exact same data, which is
+    /// what makes async replay bitwise identical by construction.
+    fn finalize(mut self, may_defer: bool) -> Option<KernelReport> {
         let hazards = HazardReport {
             hazards: self
                 .shadow
@@ -528,100 +581,286 @@ impl<'d> Kernel<'d> {
                 .map_or_else(Vec::new, |s| s.finish(&self.name)),
         };
         self.dev.record_hazards(&hazards);
-        let cfg = self.dev.cfg().clone();
-        let mut totals = Profiler {
-            kernels: 1,
-            ..Profiler::default()
-        };
-        let mut max_sm = 0.0f64;
-        let mut sum_sm = 0.0f64;
-        let mut active_sms = 0usize;
-        let mut dram_bytes = 0u64;
-        let mut l2_sectors_total = 0u64;
-
-        for c in &self.per_sm {
-            let busy = c.warp_insts > 0.0 || c.mem_requests > 0 || c.syncs > 0;
-            if !busy {
-                continue;
+        if let Some(trace) = self.trace.take() {
+            let TraceBuf {
+                arena,
+                threads,
+                elided,
+                ..
+            } = trace;
+            let work = ReplayWork {
+                caches: self.dev.take_replay_caches(),
+                arena,
+                per_sm: std::mem::take(&mut self.per_sm),
+                threads,
+                gate: self.dev.replay_gate(),
+                cfg: self.dev.cfg().clone(),
+                concurrency: self.concurrency,
+                host_bytes: self.host_bytes,
+                host_requests: self.host_requests,
+                name: std::mem::take(&mut self.name),
+                elided,
+                started: self.started,
+            };
+            let sms = work.arena.rec.len();
+            let sharded = threads.min(sms).max(1) > 1 && work.arena.total_ops() >= work.gate;
+            if may_defer && sharded && self.dev.async_replay_enabled() {
+                self.dev
+                    .set_pending_replay(std::thread::spawn(move || work.run()));
+                return None;
             }
-            active_sms += 1;
-            let issue = c.warp_insts / cfg.issue_width;
-            let sectors = c.l1_hits + c.l2_hits + c.dram_sectors + c.host_sectors;
-            let mem_pipe = sectors as f64 / cfg.sectors_per_line() as f64;
-            // matrix-unit pipe: MMA op throughput bounds the SM like the LSU
-            // datapath bounds sector traffic
-            let tensor_pipe = c.mma_ops as f64 / cfg.tensor.mma_per_cycle;
-            let latency_sum = c.l1_hits as f64 * cfg.l1.hit_latency as f64
-                + c.l2_hits as f64 * cfg.l2.hit_latency as f64
-                + c.dram_sectors as f64 * cfg.dram_latency as f64
-                + (c.atomics + c.atomic_serial) as f64 * cfg.atomic_cycles as f64
-                + c.mma_ops as f64 * cfg.tensor.mma_latency as f64;
-            let exposed = latency_sum / self.concurrency;
-            let sync_cost = c.syncs as f64 * cfg.block_sync_cycles as f64;
-            let sm_cycles = issue.max(mem_pipe).max(exposed).max(tensor_pipe) + sync_cost;
-            max_sm = max_sm.max(sm_cycles);
-            sum_sm += sm_cycles;
-
-            totals.warp_insts += c.warp_insts;
-            totals.active_lanes += c.active_lanes;
-            totals.lane_slots += c.lane_slots;
-            totals.mem_requests += c.mem_requests;
-            totals.l1_hit_sectors += c.l1_hits;
-            totals.l2_hit_sectors += c.l2_hits;
-            totals.dram_sectors += c.dram_sectors;
-            totals.write_sectors += c.write_sectors;
-            totals.atomics += c.atomics;
-            totals.atomic_conflicts += c.atomic_serial;
-            totals.syncs += c.syncs;
-            totals.mma_ops += c.mma_ops;
-            dram_bytes += c.dram_sectors * cfg.sector_bytes as u64;
-            l2_sectors_total += c.l2_hits + c.dram_sectors;
-        }
-
-        // Device-wide bandwidth bounds.
-        let dram_bound = dram_bytes as f64 / cfg.dram_bytes_per_cycle();
-        let l2_bound =
-            (l2_sectors_total * cfg.sector_bytes as u64) as f64 / cfg.l2_bytes_per_cycle();
-        // PCIe traffic bound (converted to cycles). The number of requests
-        // the device keeps in flight scales with the kernel's independent
-        // instruction streams — Resident Tile Stealing "increases the
-        // occupancy of the external memory pipeline" (§7.2) — so the
-        // effective DMA depth grows with concurrency.
-        let pcie_seconds = if self.host_bytes > 0 {
-            let mut pc = cfg.pcie;
-            let depth_scale = (self.concurrency / 4.0).max(1.0);
-            pc.queue_depth = ((pc.queue_depth as f64 * depth_scale) as usize).min(512);
-            crate::pcie::transfer_seconds(&pc, self.host_bytes, self.host_requests)
+            let done = work.run();
+            let mut report = done.apply(self.dev);
+            report.hazards = hazards;
+            Some(report)
         } else {
+            let br = compute_cycles(
+                self.dev.cfg(),
+                &self.per_sm,
+                self.concurrency,
+                self.host_bytes,
+                self.host_requests,
+            );
+            self.dev.charge(&br.totals, br.cycles);
+            self.dev.charge_named(&self.name, br.cycles);
+            Some(KernelReport {
+                seconds: self.dev.cfg().cycles_to_seconds(br.cycles),
+                name: std::mem::take(&mut self.name),
+                cycles: br.cycles,
+                max_sm_cycles: br.max_sm,
+                mean_sm_cycles: br.mean_sm,
+                active_sms: br.active_sms,
+                dram_bytes: br.dram_bytes,
+                pcie_bytes: self.host_bytes,
+                host_seconds: self.started.elapsed().as_secs_f64(),
+                host_threads: 1,
+                hazards,
+            })
+        }
+    }
+}
+
+/// The device-independent cycle computation shared by the sequential finish
+/// path and (a)synchronous replay: per-SM critical-path max, device-wide
+/// bandwidth bounds, launch overhead, and the profiler totals.
+struct CycleBreakdown {
+    totals: Profiler,
+    cycles: f64,
+    max_sm: f64,
+    mean_sm: f64,
+    active_sms: usize,
+    dram_bytes: u64,
+}
+
+fn compute_cycles(
+    cfg: &DeviceConfig,
+    per_sm: &[SmCounters],
+    concurrency: f64,
+    host_bytes: u64,
+    host_requests: u64,
+) -> CycleBreakdown {
+    let mut totals = Profiler {
+        kernels: 1,
+        ..Profiler::default()
+    };
+    let mut max_sm = 0.0f64;
+    let mut sum_sm = 0.0f64;
+    let mut active_sms = 0usize;
+    let mut dram_bytes = 0u64;
+    let mut l2_sectors_total = 0u64;
+
+    for c in per_sm {
+        let busy = c.warp_insts > 0.0 || c.mem_requests > 0 || c.syncs > 0;
+        if !busy {
+            continue;
+        }
+        active_sms += 1;
+        let issue = c.warp_insts / cfg.issue_width;
+        let sectors = c.l1_hits + c.l2_hits + c.dram_sectors + c.host_sectors;
+        let mem_pipe = sectors as f64 / cfg.sectors_per_line() as f64;
+        // matrix-unit pipe: MMA op throughput bounds the SM like the LSU
+        // datapath bounds sector traffic
+        let tensor_pipe = c.mma_ops as f64 / cfg.tensor.mma_per_cycle;
+        let latency_sum = c.l1_hits as f64 * cfg.l1.hit_latency as f64
+            + c.l2_hits as f64 * cfg.l2.hit_latency as f64
+            + c.dram_sectors as f64 * cfg.dram_latency as f64
+            + (c.atomics + c.atomic_serial) as f64 * cfg.atomic_cycles as f64
+            + c.mma_ops as f64 * cfg.tensor.mma_latency as f64;
+        let exposed = latency_sum / concurrency;
+        let sync_cost = c.syncs as f64 * cfg.block_sync_cycles as f64;
+        let sm_cycles = issue.max(mem_pipe).max(exposed).max(tensor_pipe) + sync_cost;
+        max_sm = max_sm.max(sm_cycles);
+        sum_sm += sm_cycles;
+
+        totals.warp_insts += c.warp_insts;
+        totals.active_lanes += c.active_lanes;
+        totals.lane_slots += c.lane_slots;
+        totals.mem_requests += c.mem_requests;
+        totals.l1_hit_sectors += c.l1_hits;
+        totals.l2_hit_sectors += c.l2_hits;
+        totals.dram_sectors += c.dram_sectors;
+        totals.write_sectors += c.write_sectors;
+        totals.atomics += c.atomics;
+        totals.atomic_conflicts += c.atomic_serial;
+        totals.syncs += c.syncs;
+        totals.mma_ops += c.mma_ops;
+        dram_bytes += c.dram_sectors * cfg.sector_bytes as u64;
+        l2_sectors_total += c.l2_hits + c.dram_sectors;
+    }
+
+    // Device-wide bandwidth bounds.
+    let dram_bound = dram_bytes as f64 / cfg.dram_bytes_per_cycle();
+    let l2_bound = (l2_sectors_total * cfg.sector_bytes as u64) as f64 / cfg.l2_bytes_per_cycle();
+    // PCIe traffic bound (converted to cycles). The number of requests
+    // the device keeps in flight scales with the kernel's independent
+    // instruction streams — Resident Tile Stealing "increases the
+    // occupancy of the external memory pipeline" (§7.2) — so the
+    // effective DMA depth grows with concurrency.
+    let pcie_seconds = if host_bytes > 0 {
+        let mut pc = cfg.pcie;
+        let depth_scale = (concurrency / 4.0).max(1.0);
+        pc.queue_depth = ((pc.queue_depth as f64 * depth_scale) as usize).min(512);
+        crate::pcie::transfer_seconds(&pc, host_bytes, host_requests)
+    } else {
+        0.0
+    };
+    let pcie_cycles = pcie_seconds * cfg.clock_hz;
+
+    let cycles =
+        max_sm.max(dram_bound).max(l2_bound).max(pcie_cycles) + cfg.kernel_launch_cycles as f64;
+
+    totals.pcie_bytes = host_bytes;
+    totals.pcie_requests = host_requests;
+    totals.cycles = cycles;
+    CycleBreakdown {
+        totals,
+        cycles,
+        max_sm,
+        mean_sm: if active_sms == 0 {
             0.0
-        };
-        let pcie_cycles = pcie_seconds * cfg.clock_hz;
+        } else {
+            sum_sm / active_sms as f64
+        },
+        active_sms,
+        dram_bytes,
+    }
+}
 
-        let cycles =
-            max_sm.max(dram_bound).max(l2_bound).max(pcie_cycles) + cfg.kernel_launch_cycles as f64;
+/// Everything one traced kernel's replay needs, owned, so it can run on the
+/// calling thread or be moved onto a background thread unchanged.
+struct ReplayWork {
+    caches: ReplayCaches,
+    arena: TraceArena,
+    per_sm: Vec<SmCounters>,
+    threads: usize,
+    gate: usize,
+    cfg: DeviceConfig,
+    concurrency: f64,
+    host_bytes: u64,
+    host_requests: u64,
+    name: String,
+    elided: u64,
+    started: Instant,
+}
 
-        totals.pcie_bytes = self.host_bytes;
-        totals.pcie_requests = self.host_requests;
-        totals.cycles = cycles;
-        self.dev.charge(&totals, cycles);
-        self.dev.charge_named(&self.name, cycles);
+impl ReplayWork {
+    /// Replay the streams against the owned cache hierarchy and compute the
+    /// kernel's cycles — the same code whether invoked inline or on a
+    /// background thread.
+    fn run(mut self) -> ReplayDone {
+        let (recorded, l2_probes, parallel, arena_bytes) = replay_streams(
+            &self.cfg,
+            &mut self.caches,
+            &mut self.arena,
+            &mut self.per_sm,
+            self.threads,
+            self.gate,
+        );
+        let br = compute_cycles(
+            &self.cfg,
+            &self.per_sm,
+            self.concurrency,
+            self.host_bytes,
+            self.host_requests,
+        );
+        ReplayDone {
+            caches: self.caches,
+            arena: self.arena,
+            name: self.name,
+            totals: br.totals,
+            cycles: br.cycles,
+            max_sm: br.max_sm,
+            mean_sm: br.mean_sm,
+            active_sms: br.active_sms,
+            dram_bytes: br.dram_bytes,
+            recorded,
+            elided: self.elided,
+            l2_probes,
+            parallel,
+            arena_bytes,
+            host_threads: self.threads,
+            started: self.started,
+        }
+    }
+}
 
+/// A completed replay: the caches to install back plus everything needed to
+/// charge the device and build the report. Applying it is the only step that
+/// touches the device, so the sync path (apply immediately) and the async
+/// path (apply at the join barrier) are indistinguishable to simulated
+/// state.
+pub(crate) struct ReplayDone {
+    caches: ReplayCaches,
+    arena: TraceArena,
+    name: String,
+    totals: Profiler,
+    cycles: f64,
+    max_sm: f64,
+    mean_sm: f64,
+    active_sms: usize,
+    dram_bytes: u64,
+    recorded: u64,
+    elided: u64,
+    l2_probes: u64,
+    parallel: bool,
+    arena_bytes: u64,
+    host_threads: usize,
+    started: Instant,
+}
+
+impl ReplayDone {
+    /// Fold the completed replay into the device in launch order: install
+    /// the caches, return the arena, account telemetry, charge clock and
+    /// profiler, and build the report.
+    pub(crate) fn apply(self, dev: &mut Device) -> KernelReport {
+        dev.install_replay_caches(self.caches);
+        if self.recorded > 0 || self.elided > 0 {
+            dev.note_replay(
+                self.recorded,
+                self.elided,
+                self.l2_probes,
+                self.parallel,
+                self.arena_bytes,
+            );
+        }
+        dev.return_trace_arena(self.arena);
+        dev.charge(&self.totals, self.cycles);
+        dev.charge_named(&self.name, self.cycles);
+        let seconds = dev.cfg().cycles_to_seconds(self.cycles);
         KernelReport {
             name: self.name,
-            cycles,
-            seconds: cfg.cycles_to_seconds(cycles),
-            max_sm_cycles: max_sm,
-            mean_sm_cycles: if active_sms == 0 {
-                0.0
-            } else {
-                sum_sm / active_sms as f64
-            },
-            active_sms,
-            dram_bytes,
-            pcie_bytes: self.host_bytes,
+            cycles: self.cycles,
+            seconds,
+            max_sm_cycles: self.max_sm,
+            mean_sm_cycles: self.mean_sm,
+            active_sms: self.active_sms,
+            dram_bytes: self.dram_bytes,
+            pcie_bytes: self.totals.pcie_bytes,
             host_seconds: self.started.elapsed().as_secs_f64(),
-            host_threads,
-            hazards,
+            host_threads: self.host_threads,
+            hazards: HazardReport {
+                hazards: Vec::new(),
+            },
         }
     }
 }
@@ -699,145 +938,209 @@ fn chunk_len(total: usize, parts: usize) -> usize {
     total.div_ceil(parts.max(1)).max(1)
 }
 
-/// Replay a traced kernel's probe streams against the cache hierarchy and
-/// fill the deferred `l1_hits` / `l2_hits` / `dram_sectors` counters.
+/// Replay a traced kernel's probe streams against the (moved-out) cache
+/// hierarchy and fill the deferred `l1_hits` / `l2_hits` / `dram_sectors`
+/// counters. Returns `(recorded, l2_probes, parallel, arena_bytes)`.
 ///
-/// Pass 1 replays each SM's SoA stream against that SM's private L1 — per-SM
-/// program order is exactly the sequential probe order projected onto one
-/// SM, and L1 outcomes depend on nothing else. Misses (plus atomics, which
-/// bypass L1) append to per-`(SM, slice)` arena buckets as slice-local
-/// sector ids; because the per-SM stream is in sequence order, every bucket
-/// comes out sorted by seq. Pass 2 replays each slice's probes in global
-/// sequence order by k-way-merging that slice's per-SM buckets (sequence
-/// stamps are globally unique, so the merge order is total) — per-set LRU
-/// state only depends on the relative order of that set's probes, so the
-/// sliced replay reproduces the monolithic outcome probe for probe. A slice
-/// fed by a single SM skips the merge and drains the run in one batched
-/// sweep. Both passes run on `threads` scoped workers over disjoint cache
-/// shards; kernels below [`Device::replay_gate`] stay on the calling
+/// Pass 1 replays each SM's packed stream against that SM's private L1 —
+/// per-SM program order is exactly the sequential probe order projected onto
+/// one SM, and L1 outcomes depend on nothing else. Bypass-flagged streaming
+/// reads charge DRAM directly and never touch a cache. Survivors (L1 misses
+/// plus atomics, which bypass L1) are compacted **in place** into the same
+/// per-SM vector, re-packed with slice-local sector ids and stably grouped
+/// by L2 slice (`TraceArena::runs` brackets the groups) — the arena never
+/// holds a second copy of a probe. Because the per-SM stream is in sequence
+/// order, every group comes out sorted by seq. Pass 2 replays each slice's
+/// probes in global sequence order by a dense-seq counting merge of that
+/// slice's per-SM runs (sequence stamps are globally unique, so the order is
+/// total) — per-set LRU state only depends on the relative order of that
+/// set's probes, so the sliced replay reproduces the monolithic outcome
+/// probe for probe. A slice fed by a single SM skips the merge and drains
+/// the run in one sweep. Both passes run on `threads` scoped workers over
+/// disjoint cache shards; kernels below the replay gate stay on the calling
 /// thread. Counter merging is fixed-order u64 sums, so the result is
 /// independent of thread scheduling.
-fn replay_trace(dev: &mut Device, trace: TraceBuf, per_sm: &mut [SmCounters]) {
-    let TraceBuf {
-        mut arena, threads, ..
-    } = trace;
-    let num_slices = dev.l2_ref().num_slices();
-    let spl = u64::from(dev.cfg().sectors_per_line() as u32);
+fn replay_streams(
+    cfg: &DeviceConfig,
+    caches: &mut ReplayCaches,
+    arena: &mut TraceArena,
+    per_sm: &mut [SmCounters],
+    threads: usize,
+    gate: usize,
+) -> (u64, u64, bool, u64) {
+    use crate::trace::{ATOMIC_FLAG, BYPASS_FLAG, SECTOR_MASK, SEQ_SHIFT};
+    let num_slices = caches.l2.num_slices();
+    let spl = u64::from(cfg.sectors_per_line() as u32);
     let total_ops = arena.total_ops();
     if total_ops == 0 {
-        dev.return_trace_arena(arena);
-        return;
+        return (0, 0, false, arena.reserved_bytes());
     }
-    let sms = arena.rec_sectors.len();
+    let sms = arena.rec.len();
     let workers = threads.min(sms).max(1);
-    let parallel = workers > 1 && total_ops >= dev.replay_gate();
+    let parallel = workers > 1 && total_ops >= gate;
     let k = num_slices as u64;
+    let seq_mask_hi = !((1u64 << SEQ_SHIFT) - 1);
 
     // ---- pass 1: private L1 replay, one shard per SM ----
     let mut l1_hits = vec![0u64; sms];
+    let mut l1_dram = vec![0u64; sms];
     {
-        let l1 = dev.l1_caches_mut();
+        let l1 = &mut caches.l1;
+        // Survivors are re-packed (seq | slice-local sector) into per-slice
+        // scratch groups, then written back over the drained stream prefix —
+        // scratch is per-worker and sized to one SM's survivors, so the
+        // arena itself never grows in pass 1.
         let replay_one = |cache: &mut SectorCache,
-                          sectors: &[u64],
-                          meta: &[u64],
+                          rec: &mut Vec<u64>,
+                          runs: &mut [usize],
                           hits: &mut u64,
-                          bucket_local: &mut [Vec<u64>],
-                          bucket_seq: &mut [Vec<u64>]| {
-            for (&s, &m) in sectors.iter().zip(meta) {
-                if m & 1 == 0 && cache.access(s) == Probe::Hit {
+                          dram: &mut u64,
+                          scratch: &mut Vec<Vec<u64>>| {
+            for g in scratch.iter_mut() {
+                g.clear();
+            }
+            for &w in rec.iter() {
+                if w & BYPASS_FLAG != 0 {
+                    // streaming bypass: compulsory DRAM miss, no cache touch
+                    *dram += 1;
+                    continue;
+                }
+                let s = (w >> 2) & SECTOR_MASK;
+                if w & ATOMIC_FLAG == 0 && cache.access(s) == Probe::Hit {
                     *hits += 1;
                     continue;
                 }
                 let line = s / spl;
                 let slice = (line % k) as usize;
-                bucket_local[slice].push((line / k) * spl + s % spl);
-                bucket_seq[slice].push(m >> 1);
+                let local = (line / k) * spl + s % spl;
+                scratch[slice].push((w & seq_mask_hi) | (local << 2));
+            }
+            rec.clear();
+            runs[0] = 0;
+            for (slice, g) in scratch.iter().enumerate() {
+                rec.extend_from_slice(g);
+                runs[slice + 1] = rec.len();
             }
         };
         if parallel {
             let chunk = chunk_len(sms, workers);
             std::thread::scope(|scope| {
-                for ((((l1c, secc), metac), hitc), bucketc) in l1
+                for (((l1c, recc), runsc), outc) in l1
                     .chunks_mut(chunk)
-                    .zip(arena.rec_sectors.chunks(chunk))
-                    .zip(arena.rec_meta.chunks(chunk))
-                    .zip(l1_hits.chunks_mut(chunk))
-                    .zip(
-                        arena
-                            .l2_local
-                            .chunks_mut(chunk * num_slices)
-                            .zip(arena.l2_seq.chunks_mut(chunk * num_slices)),
-                    )
+                    .zip(arena.rec.chunks_mut(chunk))
+                    .zip(arena.runs.chunks_mut(chunk * (num_slices + 1)))
+                    .zip(l1_hits.chunks_mut(chunk).zip(l1_dram.chunks_mut(chunk)))
                 {
                     scope.spawn(move || {
-                        let (locc, seqc) = bucketc;
+                        let (hitc, dramc) = outc;
+                        let mut scratch: Vec<Vec<u64>> = vec![Vec::new(); num_slices];
                         for (i, cache) in l1c.iter_mut().enumerate() {
                             replay_one(
                                 cache,
-                                &secc[i],
-                                &metac[i],
+                                &mut recc[i],
+                                &mut runsc[i * (num_slices + 1)..(i + 1) * (num_slices + 1)],
                                 &mut hitc[i],
-                                &mut locc[i * num_slices..(i + 1) * num_slices],
-                                &mut seqc[i * num_slices..(i + 1) * num_slices],
+                                &mut dramc[i],
+                                &mut scratch,
                             );
                         }
                     });
                 }
             });
         } else {
+            let mut scratch: Vec<Vec<u64>> = vec![Vec::new(); num_slices];
             for (sm, cache) in l1.iter_mut().enumerate() {
                 replay_one(
                     cache,
-                    &arena.rec_sectors[sm],
-                    &arena.rec_meta[sm],
+                    &mut arena.rec[sm],
+                    &mut arena.runs[sm * (num_slices + 1)..(sm + 1) * (num_slices + 1)],
                     &mut l1_hits[sm],
-                    &mut arena.l2_local[sm * num_slices..(sm + 1) * num_slices],
-                    &mut arena.l2_seq[sm * num_slices..(sm + 1) * num_slices],
+                    &mut l1_dram[sm],
+                    &mut scratch,
                 );
             }
         }
     }
 
     // ---- pass 2: L2 replay, one worker chunk per group of slices ----
-    let l2_probes = arena.l2_ops();
+    let l2_probes = arena.total_ops() as u64;
     let mut slice_counts: Vec<(u64, u64)> = vec![(0, 0); num_slices * sms];
     {
-        let l2 = dev.l2_mut();
-        let locals = &arena.l2_local;
-        let seqs = &arena.l2_seq;
+        let l2 = &mut caches.l2;
+        let rec = &arena.rec;
+        let run_bounds = &arena.runs;
+        // Pack (seq, sm) into one sortable key: stamps are globally unique,
+        // so the low sm bits never decide an ordering.
+        let sm_bits = usize::BITS - sms.saturating_sub(1).leading_zeros();
+        let sm_mask = (1u64 << sm_bits) - 1;
         let replay_slice = |cache: &mut SectorCache, slice: usize, counts: &mut [(u64, u64)]| {
-            let mut runs: Vec<(usize, &[u64], &[u64])> = Vec::with_capacity(sms);
-            for sm in 0..sms {
-                let b = sm * num_slices + slice;
-                if !seqs[b].is_empty() {
-                    runs.push((sm, &locals[b], &seqs[b]));
+            let mut runs: Vec<(usize, &[u64])> = Vec::with_capacity(sms);
+            let mut n = 0usize;
+            let mut min_seq = u64::MAX;
+            let mut max_seq = 0u64;
+            for (sm, stream) in rec.iter().enumerate() {
+                let b = sm * (num_slices + 1) + slice;
+                let seg = &stream[run_bounds[b]..run_bounds[b + 1]];
+                if let (Some(&first), Some(&last)) = (seg.first(), seg.last()) {
+                    n += seg.len();
+                    min_seq = min_seq.min(first >> SEQ_SHIFT);
+                    max_seq = max_seq.max(last >> SEQ_SHIFT);
+                    runs.push((sm, seg));
                 }
             }
-            if let [(sm, local, _)] = runs[..] {
-                // single contributing SM: the run already is global order
-                let (h, m) = cache.access_batch(local);
-                counts[sm].0 += h;
-                counts[sm].1 += m;
+            if runs.is_empty() {
                 return;
             }
-            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = runs
-                .iter()
-                .enumerate()
-                .map(|(ri, r)| Reverse((r.2[0], ri)))
-                .collect();
-            let mut cursor = vec![0usize; runs.len()];
-            while let Some(Reverse((_, ri))) = heap.pop() {
-                let (sm, local, seq) = runs[ri];
-                let i = cursor[ri];
-                let c = &mut counts[sm];
-                if cache.access(local[i]) == Probe::Hit {
-                    c.0 += 1;
-                } else {
-                    c.1 += 1;
+            if let [(sm, seg)] = runs[..] {
+                // single contributing SM: the run already is global order
+                let mut h = 0u64;
+                for &w in seg {
+                    if cache.access((w >> 2) & SECTOR_MASK) == Probe::Hit {
+                        h += 1;
+                    }
                 }
-                cursor[ri] = i + 1;
-                if i + 1 < seq.len() {
-                    heap.push(Reverse((seq[i + 1], ri)));
+                counts[sm].0 += h;
+                counts[sm].1 += seg.len() as u64 - h;
+                return;
+            }
+            // Dense-seq counting merge: stamps are dense per kernel, so
+            // scatter the runs into ~1-probe-wide seq buckets (count,
+            // prefix-sum, place), sort the rare multi-entry bucket, and
+            // sweep in ascending-seq order — O(n) instead of per-probe
+            // heap churn.
+            let buckets = n;
+            let width = (max_seq - min_seq + 1).div_ceil(buckets as u64).max(1);
+            let mut offsets = vec![0usize; buckets + 1];
+            for &(_, seg) in &runs {
+                for &w in seg {
+                    offsets[(((w >> SEQ_SHIFT) - min_seq) / width) as usize + 1] += 1;
+                }
+            }
+            for i in 1..=buckets {
+                offsets[i] += offsets[i - 1];
+            }
+            let mut cursor = offsets[..buckets].to_vec();
+            let mut pairs = vec![(0u64, 0u64); n];
+            for &(sm, seg) in &runs {
+                for &w in seg {
+                    let q = w >> SEQ_SHIFT;
+                    let b = ((q - min_seq) / width) as usize;
+                    pairs[cursor[b]] = ((q << sm_bits) | sm as u64, (w >> 2) & SECTOR_MASK);
+                    cursor[b] += 1;
+                }
+            }
+            for b in 0..buckets {
+                let seg = &mut pairs[offsets[b]..offsets[b + 1]];
+                if seg.len() > 1 {
+                    seg.sort_unstable();
+                }
+                for &(key, local) in seg.iter() {
+                    let c = &mut counts[(key & sm_mask) as usize];
+                    if cache.access(local) == Probe::Hit {
+                        c.0 += 1;
+                    } else {
+                        c.1 += 1;
+                    }
                 }
             }
         };
@@ -875,6 +1178,7 @@ fn replay_trace(dev: &mut Device, trace: TraceBuf, per_sm: &mut [SmCounters]) {
     // ---- pass 3: merge in fixed SM-major order ----
     for (sm, c) in per_sm.iter_mut().enumerate() {
         c.l1_hits += l1_hits[sm];
+        c.dram_sectors += l1_dram[sm];
         for slice in 0..num_slices {
             let (h, m) = slice_counts[slice * sms + sm];
             c.l2_hits += h;
@@ -882,9 +1186,12 @@ fn replay_trace(dev: &mut Device, trace: TraceBuf, per_sm: &mut [SmCounters]) {
         }
     }
 
-    let arena_bytes = arena.reserved_bytes();
-    dev.note_replay(total_ops as u64, l2_probes, parallel, arena_bytes);
-    dev.return_trace_arena(arena);
+    (
+        total_ops as u64,
+        l2_probes,
+        parallel,
+        arena.reserved_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -1340,6 +1647,114 @@ mod tests {
         let r = k.finish();
         assert_eq!(r.active_sms, 0);
         assert_eq!(d.profiler().mma_ops, 0);
+    }
+
+    /// A workload mixing streaming-region reads, cached reads, writes into
+    /// the streaming region, and atomics, run three kernels deep so cache
+    /// state carries across launches (and, with async replay, across the
+    /// record/replay overlap). Returns every simulated observable as exact
+    /// bits plus the elided-probe count.
+    fn streaming_workload(threads: usize, elide: bool, async_on: bool) -> (Vec<u64>, u64) {
+        let mut d = dev();
+        d.set_host_threads(threads);
+        d.set_elide_streaming(elide);
+        d.set_async_replay(async_on);
+        d.set_replay_gate(1); // every traced kernel goes sharded (and async)
+        let base = 1u64 << 20;
+        // 4 KiB >= test_tiny's 2 KiB L2 way capacity -> registered
+        d.mark_streaming(base, 4096);
+        assert_eq!(d.streaming_region_count(), 1);
+        for round in 0..3u64 {
+            let mut k = d.launch("stream");
+            for sm in 0..4 {
+                let off = (sm as u64 * 1024 + round * 256) % 3072;
+                k.access_range(sm, AccessKind::Read, base + off, 200, 4);
+                k.access_range(sm, AccessKind::Read, 4096 + sm as u64 * 512, 64, 4);
+                k.access(sm, AccessKind::Write, &[base + sm as u64 * 64], 4);
+                k.atomic(sm, &[512 * (1 + sm as u64)]);
+            }
+            k.finish_async();
+        }
+        let p = d.profiler().clone();
+        let (l2h, l2sm, l2lm) = d.l2_stats();
+        let counters = vec![
+            p.l1_hit_sectors,
+            p.l2_hit_sectors,
+            p.dram_sectors,
+            p.write_sectors,
+            p.atomics,
+            p.cycles.to_bits(),
+            d.elapsed_cycles().to_bits(),
+            l2h,
+            l2sm,
+            l2lm,
+        ];
+        let elided = d.replay_stats().elided_probes;
+        (counters, elided)
+    }
+
+    #[test]
+    fn elision_and_async_replay_are_bitwise_invisible() {
+        // threads=1: sequential backend, no tracing at all — the reference.
+        let (reference, e0) = streaming_workload(1, true, true);
+        assert_eq!(e0, 0, "sequential kernels never elide (nothing is traced)");
+        for threads in [2, 4] {
+            for elide in [false, true] {
+                for async_on in [false, true] {
+                    let (got, elided) = streaming_workload(threads, elide, async_on);
+                    assert_eq!(
+                        got, reference,
+                        "threads={threads} elide={elide} async={async_on} diverged"
+                    );
+                    assert_eq!(elided > 0, elide, "elision telemetry must track the toggle");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_streaming_regions_are_not_registered() {
+        let mut d = dev();
+        // below the 2 KiB way capacity of test_tiny -> ignored
+        d.mark_streaming(1 << 20, 1024);
+        assert_eq!(d.streaming_region_count(), 0);
+        d.mark_streaming(1 << 20, 2048);
+        assert_eq!(d.streaming_region_count(), 1);
+    }
+
+    #[test]
+    fn streaming_reads_bypass_caches_on_the_sequential_path() {
+        let mut d = dev();
+        let base = 1u64 << 20;
+        d.mark_streaming(base, 4096);
+        let mut k = d.launch("bypass");
+        // Touch the same streaming sectors twice: no caching, so both
+        // sweeps are compulsory DRAM misses.
+        k.access_range(0, AccessKind::Read, base, 64, 4);
+        k.access_range(0, AccessKind::Read, base, 64, 4);
+        let _ = k.finish();
+        assert_eq!(d.profiler().l1_hit_sectors, 0);
+        assert_eq!(d.profiler().l2_hit_sectors, 0);
+        assert_eq!(d.profiler().dram_sectors, 16);
+    }
+
+    #[test]
+    fn async_replay_joins_at_observable_reads() {
+        let mut d = dev();
+        d.set_host_threads(4);
+        d.set_replay_gate(1);
+        let mut k = d.launch("async");
+        for sm in 0..4 {
+            k.access_range(sm, AccessKind::Read, 4096 + sm as u64 * 4096, 256, 4);
+        }
+        k.finish_async();
+        // The join barrier must surface the kernel's full charge.
+        assert!(d.elapsed_cycles() > 0.0);
+        assert_eq!(d.profiler().kernels, 1);
+        assert_eq!(d.replay_stats().traced_kernels, 1);
+        let bd = d.kernel_breakdown();
+        assert_eq!(bd.len(), 1);
+        assert_eq!(bd[0].1, 1);
     }
 
     #[test]

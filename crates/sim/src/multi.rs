@@ -70,7 +70,7 @@ impl DeviceGroup {
     pub fn barrier(&mut self) {
         let max = self
             .devices
-            .iter()
+            .iter_mut()
             .map(Device::elapsed_seconds)
             .fold(0.0f64, f64::max);
         for d in &mut self.devices {
@@ -96,10 +96,9 @@ impl DeviceGroup {
     }
 
     /// Elapsed time of the group: the slowest device.
-    #[must_use]
-    pub fn elapsed_seconds(&self) -> f64 {
+    pub fn elapsed_seconds(&mut self) -> f64 {
         self.devices
-            .iter()
+            .iter_mut()
             .map(Device::elapsed_seconds)
             .fold(0.0f64, f64::max)
     }
@@ -138,8 +137,8 @@ mod tests {
         g.device(0).advance_seconds(5e-6);
         g.device(1).advance_seconds(1e-6);
         g.barrier();
-        let a = g.device_ref(0).elapsed_seconds();
-        let b = g.device_ref(1).elapsed_seconds();
+        let a = g.device(0).elapsed_seconds();
+        let b = g.device(1).elapsed_seconds();
         assert!((a - b).abs() < 1e-15);
         assert!((a - 5e-6).abs() < 1e-12);
     }
@@ -151,7 +150,7 @@ mod tests {
         g.exchange(1 << 20);
         let after = g.elapsed_seconds();
         assert!(after > before);
-        assert!(g.device_ref(0).profiler().peer_bytes >= 1 << 20);
+        assert!(g.device(0).profiler().peer_bytes >= 1 << 20);
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct ReplayStats {
     pub traced_kernels: u64,
     /// Sector probes recorded into the SoA streams across traced kernels.
     pub recorded_probes: u64,
+    /// Streaming-scan probes elided from the streams: classified as
+    /// order-insensitive at record time and charged eagerly as compulsory
+    /// DRAM misses instead of being recorded (see
+    /// [`crate::device::Device::mark_streaming`]).
+    pub elided_probes: u64,
     /// Probes that survived L1 replay and were merged into L2 slices.
     pub l2_probes: u64,
     /// Traced kernels replayed on SM-sharded workers (probe count at or
@@ -152,18 +157,32 @@ impl ReplayStats {
             1.0 - self.l2_probes as f64 / self.recorded_probes as f64
         }
     }
+
+    /// Fraction of classified probes elided from the replay streams:
+    /// `elided / (elided + recorded)`, 0 when no traced kernel ran.
+    #[must_use]
+    pub fn elision(&self) -> f64 {
+        let total = self.elided_probes + self.recorded_probes;
+        if total == 0 {
+            0.0
+        } else {
+            self.elided_probes as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for ReplayStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "traced kernels: {} ({} sharded / {} inline), probes: {} ({:.1}% L1-absorbed), arena: {} KiB",
+            "traced kernels: {} ({} sharded / {} inline), probes: {} recorded ({:.1}% L1-absorbed) + {} elided ({:.1}%), arena: {} KiB",
             self.traced_kernels,
             self.parallel_replays,
             self.inline_replays,
             self.recorded_probes,
             self.l1_absorption() * 100.0,
+            self.elided_probes,
+            self.elision() * 100.0,
             self.arena_bytes / 1024,
         )
     }
@@ -267,6 +286,7 @@ mod tests {
         let r = ReplayStats {
             traced_kernels: 2,
             recorded_probes: 100,
+            elided_probes: 300,
             l2_probes: 25,
             parallel_replays: 1,
             inline_replays: 1,
@@ -274,6 +294,7 @@ mod tests {
         };
         assert!((r.probes_per_kernel() - 50.0).abs() < 1e-12);
         assert!((r.l1_absorption() - 0.75).abs() < 1e-12);
+        assert!((r.elision() - 0.75).abs() < 1e-12);
         assert!(format!("{r}").contains("arena"));
     }
 }

@@ -1,41 +1,63 @@
-//! Arena-backed struct-of-arrays probe streams for the trace/replay backend.
+//! Arena-backed packed probe streams for the trace/replay backend.
 //!
 //! The first trace/replay implementation recorded probes as
 //! `Vec<Vec<TraceOp>>` (24-byte structs) and bucketed L2 survivors through
 //! per-probe `Vec<L2Probe>` pushes followed by a full sort per slice — at
 //! million-node scale the per-event allocation and shuffle cost swamped the
-//! algorithmic work and made 4 host threads *slower* than one. This module
-//! replaces that with flat SoA streams owned by a per-device arena:
+//! algorithmic work and made 4 host threads *slower* than one. Its SoA
+//! successor halved that to two parallel u64 streams (16 bytes per probe)
+//! plus separate per-`(SM, slice)` L2 survivor buckets — but at scale-20
+//! only ~6 % of probes are absorbed by L1, so the buckets nearly duplicated
+//! the record streams and the arena ballooned past 1 GiB. This module packs
+//! everything into **one u64 per probe**:
 //!
-//! * **Recording** appends each probe to two parallel per-SM vectors — the
-//!   raw sector id and a packed meta word `seq << 1 | atomic` (16 bytes per
-//!   probe, no padding, no per-probe branches beyond the push). The SM index
-//!   is implicit in which stream the probe lands in.
-//! * **L1 replay** drains each SM's stream and appends the survivors
-//!   (L1 misses plus atomics) to per-`(SM, slice)` buckets, already
-//!   translated to slice-local sector ids. Because per-SM streams are in
-//!   sequence order, every bucket comes out *sorted by seq for free* —
-//!   L2 replay k-way merges the buckets instead of sorting.
-//! * **Arena reuse**: the device owns one [`TraceArena`]; a kernel takes it
-//!   at launch and returns it at finish, so after the first large kernel no
-//!   stream ever reallocates — steady-state recording is pure appends into
-//!   warm capacity.
+//! * **Recording** appends a single packed word per probe to a per-SM
+//!   vector: `seq << 36 | sector << 2 | bypass << 1 | atomic` (8 bytes per
+//!   probe, no padding, no per-probe branches beyond the push). The SM
+//!   index is implicit in which stream the probe lands in. `bypass` marks
+//!   streaming reads that skip the cache hierarchy entirely (charged
+//!   straight to DRAM during L1 replay); with probe elision on they are
+//!   charged eagerly at record time and never reach the arena at all.
+//! * **L1 replay compacts in place**: each SM's stream is drained and the
+//!   survivors (L1 misses plus atomics) are written back into the *same*
+//!   vector, re-packed with the slice-local sector id and grouped by L2
+//!   slice ([`TraceArena::runs`] holds the group boundaries). Because the
+//!   per-SM stream is in sequence order and the grouping is stable, every
+//!   per-`(SM, slice)` run comes out *sorted by seq for free* — L2 replay
+//!   merges the runs with a dense-seq counting merge. No second copy of
+//!   the survivors ever exists.
+//! * **Bounded growth**: streams grow by `capacity / 8` chunks
+//!   (`reserve_exact`) instead of doubling, so the steady-state footprint
+//!   overshoots the largest kernel's probe count by at most ~12.5 %.
+//! * **Arena reuse**: the device owns a pool of [`TraceArena`]s (two, for
+//!   double-buffered async replay); a kernel takes one at launch and
+//!   returns it at finish, so after the first large kernel no stream ever
+//!   reallocates — steady-state recording is pure appends into warm
+//!   capacity.
 
-/// Reusable SoA probe-stream storage. One per [`crate::device::Device`];
-/// taken by a traced kernel for the duration of a launch.
+/// Bit position of the sequence stamp in a packed probe word.
+pub(crate) const SEQ_SHIFT: u32 = 36;
+/// Mask of the sector-id field (34 bits: device addresses below 512 GiB).
+pub(crate) const SECTOR_MASK: u64 = (1 << 34) - 1;
+/// Streaming-bypass flag: the probe skips L1/L2 and charges DRAM directly.
+pub(crate) const BYPASS_FLAG: u64 = 0b10;
+/// Atomic flag: the probe resolves in L2 (skips L1).
+pub(crate) const ATOMIC_FLAG: u64 = 0b01;
+
+/// Reusable packed probe-stream storage. One per [`crate::device::Device`]
+/// pool slot; taken by a traced kernel for the duration of a launch.
 #[derive(Debug, Default)]
 pub(crate) struct TraceArena {
-    /// Per-SM recorded sector ids, in per-SM program order.
-    pub(crate) rec_sectors: Vec<Vec<u64>>,
-    /// Per-SM packed meta words: `seq << 1 | atomic_flag`, parallel to
-    /// [`Self::rec_sectors`].
-    pub(crate) rec_meta: Vec<Vec<u64>>,
-    /// Per-`(SM, slice)` slice-local sector ids of probes bound for L2,
-    /// indexed `sm * num_slices + slice`. Filled by L1 replay.
-    pub(crate) l2_local: Vec<Vec<u64>>,
-    /// Sequence stamps parallel to [`Self::l2_local`]; each bucket is
-    /// sorted ascending by construction (per-SM streams are seq-ordered).
-    pub(crate) l2_seq: Vec<Vec<u64>>,
+    /// Per-SM packed probe words
+    /// (`seq << 36 | sector << 2 | bypass << 1 | atomic`), in per-SM
+    /// program order while recording; after L1 replay, the L1 survivors
+    /// re-packed as `seq << 36 | slice_local_sector << 2` and grouped by
+    /// L2 slice (each group still seq-ascending).
+    pub(crate) rec: Vec<Vec<u64>>,
+    /// Per-SM slice-group boundaries after L1 replay:
+    /// `runs[sm * (slices + 1) + s ..= + s + 1]` brackets slice `s`'s
+    /// survivors within `rec[sm]`. All zero until pass 1 compacts.
+    pub(crate) runs: Vec<usize>,
 }
 
 impl TraceArena {
@@ -43,54 +65,50 @@ impl TraceArena {
     /// truncate every stream to length zero. Capacity grown by earlier
     /// launches is retained — this is what makes the arena an arena.
     pub(crate) fn reset(&mut self, sms: usize, slices: usize) {
-        self.rec_sectors.resize_with(sms, Vec::new);
-        self.rec_meta.resize_with(sms, Vec::new);
-        self.l2_local.resize_with(sms * slices, Vec::new);
-        self.l2_seq.resize_with(sms * slices, Vec::new);
-        for v in &mut self.rec_sectors {
+        self.rec.resize_with(sms, Vec::new);
+        for v in &mut self.rec {
             v.clear();
         }
-        for v in &mut self.rec_meta {
-            v.clear();
-        }
-        for v in &mut self.l2_local {
-            v.clear();
-        }
-        for v in &mut self.l2_seq {
-            v.clear();
-        }
+        self.runs.clear();
+        self.runs.resize(sms * (slices + 1), 0);
     }
 
-    /// Append one probe to `sm`'s recording stream.
+    /// Append one probe to `sm`'s recording stream. `bypass` marks a
+    /// cache-bypassing streaming read (replayed as a direct DRAM charge);
+    /// `atomic` marks an L2-resolved atomic.
+    ///
+    /// The packed-word layout caps one kernel at 2^28 recorded probes and
+    /// the device address space at 512 GiB — far beyond the simulator's
+    /// reach (the scale-20 sweep records ~4×10^7 probes per kernel), and
+    /// cheap to check: one predictable branch guards silent corruption.
     #[inline]
-    pub(crate) fn record(&mut self, sm: usize, sector: u64, seq: u64, atomic: bool) {
-        self.rec_sectors[sm].push(sector);
-        self.rec_meta[sm].push((seq << 1) | u64::from(atomic));
+    pub(crate) fn record(&mut self, sm: usize, sector: u64, seq: u64, bypass: bool, atomic: bool) {
+        assert!(
+            sector <= SECTOR_MASK && seq < (1 << (64 - SEQ_SHIFT)),
+            "packed probe overflow: sector {sector:#x} / seq {seq} exceed the 34/28-bit fields"
+        );
+        let v = &mut self.rec[sm];
+        if v.len() == v.capacity() {
+            // grow in ~12.5 % steps, not doubling: arena capacity is the
+            // replay backend's memory high-water
+            v.reserve_exact((v.capacity() / 8).max(4096));
+        }
+        v.push((seq << SEQ_SHIFT) | (sector << 2) | (u64::from(bypass) << 1) | u64::from(atomic));
     }
 
-    /// Total probes recorded across SMs.
+    /// Total probes recorded across SMs (survivors only, once L1 replay
+    /// has compacted the streams in place).
     pub(crate) fn total_ops(&self) -> usize {
-        self.rec_sectors.iter().map(Vec::len).sum()
-    }
-
-    /// Total probes currently sitting in the L2 survivor buckets.
-    pub(crate) fn l2_ops(&self) -> u64 {
-        self.l2_seq.iter().map(|v| v.len() as u64).sum()
+        self.rec.iter().map(Vec::len).sum()
     }
 
     /// Bytes of capacity the arena holds across all streams (telemetry:
     /// the steady-state footprint bought in exchange for allocation-free
     /// recording).
     pub(crate) fn reserved_bytes(&self) -> u64 {
-        let words: usize = self
-            .rec_sectors
-            .iter()
-            .chain(&self.rec_meta)
-            .chain(&self.l2_local)
-            .chain(&self.l2_seq)
-            .map(Vec::capacity)
-            .sum();
-        (words * std::mem::size_of::<u64>()) as u64
+        let words: usize = self.rec.iter().map(Vec::capacity).sum();
+        (words * std::mem::size_of::<u64>() + self.runs.capacity() * std::mem::size_of::<usize>())
+            as u64
     }
 }
 
@@ -102,29 +120,48 @@ mod tests {
     fn reset_sizes_tables_and_keeps_capacity() {
         let mut a = TraceArena::default();
         a.reset(4, 2);
-        assert_eq!(a.rec_sectors.len(), 4);
-        assert_eq!(a.l2_local.len(), 8);
+        assert_eq!(a.rec.len(), 4);
+        assert_eq!(a.runs.len(), 4 * 3);
         for i in 0..100 {
-            a.record(1, i, i, false);
+            a.record(1, i, i, false, false);
         }
         assert_eq!(a.total_ops(), 100);
-        let cap = a.rec_sectors[1].capacity();
+        let cap = a.rec[1].capacity();
         assert!(cap >= 100);
         a.reset(4, 2);
         assert_eq!(a.total_ops(), 0);
-        assert_eq!(a.rec_sectors[1].capacity(), cap, "capacity must survive");
-        assert!(a.reserved_bytes() >= 100 * 16);
+        assert_eq!(a.rec[1].capacity(), cap, "capacity must survive");
+        assert!(a.reserved_bytes() >= 100 * 8);
     }
 
     #[test]
-    fn meta_word_packs_seq_and_atomic() {
+    fn probe_word_packs_seq_sector_bypass_and_atomic() {
         let mut a = TraceArena::default();
         a.reset(1, 1);
-        a.record(0, 7, 42, false);
-        a.record(0, 9, 43, true);
-        assert_eq!(a.rec_meta[0][0], 42 << 1);
-        assert_eq!(a.rec_meta[0][1], (43 << 1) | 1);
-        assert_eq!(a.rec_sectors[0], vec![7, 9]);
+        a.record(0, 7, 42, false, false);
+        a.record(0, 9, 43, false, true);
+        a.record(0, 11, 44, true, false);
+        assert_eq!(a.rec[0][0], (42 << SEQ_SHIFT) | (7 << 2));
+        assert_eq!(a.rec[0][1], (43 << SEQ_SHIFT) | (9 << 2) | ATOMIC_FLAG);
+        assert_eq!(a.rec[0][2], (44 << SEQ_SHIFT) | (11 << 2) | BYPASS_FLAG);
+        // unpacking round-trips
+        assert_eq!((a.rec[0][2] >> 2) & SECTOR_MASK, 11);
+        assert_eq!(a.rec[0][2] >> SEQ_SHIFT, 44);
+    }
+
+    #[test]
+    fn growth_is_chunked_not_doubled() {
+        let mut a = TraceArena::default();
+        a.reset(1, 1);
+        for i in 0..100_000 {
+            a.record(0, i % 1024, i, false, false);
+        }
+        let cap = a.rec[0].capacity();
+        assert!(cap >= 100_000);
+        assert!(
+            cap <= 100_000 + 100_000 / 8 + 4096,
+            "capacity {cap} overshoots the ~12.5% growth bound"
+        );
     }
 
     #[test]
@@ -132,8 +169,16 @@ mod tests {
         let mut a = TraceArena::default();
         a.reset(2, 1);
         a.reset(8, 4);
-        assert_eq!(a.rec_sectors.len(), 8);
-        assert_eq!(a.l2_seq.len(), 32);
-        assert_eq!(a.l2_ops(), 0);
+        assert_eq!(a.rec.len(), 8);
+        assert_eq!(a.runs.len(), 8 * 5);
+        assert_eq!(a.total_ops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed probe overflow")]
+    fn oversized_sector_is_rejected_loudly() {
+        let mut a = TraceArena::default();
+        a.reset(1, 1);
+        a.record(0, SECTOR_MASK + 1, 0, false, false);
     }
 }
