@@ -9,6 +9,20 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== sage-lint: workspace invariant checker =="
+# deny-by-default repo-specific static analysis: replay-join discipline on
+# Device, dirty-annotation justifications + sanitize-matrix coverage,
+# determinism lints (hash iteration / wall clock / unordered reduces), and
+# lock-poison recovery on the serving path. Any violation without a
+# justified `// sage-lint: allow(<rule>)` marker exits 1; so do stale or
+# malformed markers. The linter's own fixture suite runs under cargo test.
+cargo run -q -p sage-lint -- --workspace
+
+echo "== replay handoff model check (exhaustive interleavings) =="
+# loom-style DFS over every host/replay-thread interleaving of the async
+# replay double-buffer protocol, plus mutant protocols that must fail
+cargo test -q -p gpu-sim --features model --test replay_model
+
 echo "== cargo test =="
 cargo test -q --workspace
 

@@ -108,24 +108,47 @@ fn identical(a: &Fingerprint, b: &Fingerprint) -> bool {
         && a.direction_trace == b.direction_trace
 }
 
-/// Why a row's trace/replay counters look the way they do.
+/// Why a row's trace/replay counters look the way they do, derived purely
+/// from the device's own [`ReplayStats`] — never from the requested thread
+/// count, so the label cannot drift from the telemetry it summarises.
 ///
-/// `untraced` rows ran on the sequential host path — probe recording is
-/// gated off at 1 host thread (there is nothing to replay), so
-/// `recorded_probes: 0` there is the gate decision, not a bug. Threaded
-/// rows report which replay path actually consumed the recorded probes:
-/// `sharded` (parallel replay only), `inline` (inline replay only), or
-/// `mixed` (both fired across the run's kernels).
-fn gate_decision(threads: usize, replay: &ReplayStats) -> &'static str {
-    if threads == 1 {
-        return "untraced";
-    }
+/// `untraced` rows saw no replay at all (the sequential host path gates
+/// probe recording off, so `recorded_probes: 0` there is the gate decision,
+/// not missing data). Traced rows report which replay path actually
+/// consumed the recorded probes: `sharded` (parallel replay only), `inline`
+/// (inline replay only), or `mixed` (both fired across the run's kernels).
+fn gate_decision(replay: &ReplayStats) -> &'static str {
     match (replay.parallel_replays > 0, replay.inline_replays > 0) {
         (true, true) => "mixed",
         (true, false) => "sharded",
         (false, true) => "inline",
         (false, false) => "untraced",
     }
+}
+
+/// The gate label and the raw counters must tell the same story, and the
+/// sequential path must really be the sequential path.
+fn assert_gate_consistent(threads: usize, replay: &ReplayStats, gate: &str) {
+    let (par, inl) = (replay.parallel_replays, replay.inline_replays);
+    let consistent = match gate {
+        "untraced" => {
+            par == 0 && inl == 0 && replay.recorded_probes == 0 && replay.elided_probes == 0
+        }
+        "sharded" => par > 0 && inl == 0,
+        "inline" => par == 0 && inl > 0,
+        "mixed" => par > 0 && inl > 0,
+        _ => false,
+    };
+    assert!(
+        consistent,
+        "gate label {gate:?} disagrees with replay stats \
+         (parallel {par}, inline {inl}, recorded {})",
+        replay.recorded_probes
+    );
+    assert!(
+        threads > 1 || gate == "untraced",
+        "1-thread run reported gate {gate:?} — the sequential backend must not trace"
+    );
 }
 
 fn row_json(
@@ -138,6 +161,8 @@ fn row_json(
     bitwise: bool,
 ) -> String {
     let speedup = base_host_seconds / out.report.host_seconds.max(f64::MIN_POSITIVE);
+    let gate = gate_decision(&out.replay);
+    assert_gate_consistent(threads, &out.replay, gate);
     format!(
         "{{\"family\": \"{family}\", \"scale\": {scale}, \"nodes\": {}, \"edges\": {}, \
          \"placement\": \"{}\", \"threads\": {threads}, \"sim_seconds\": {:.9}, \
@@ -153,7 +178,7 @@ fn row_json(
         out.report.seconds,
         out.report.gteps(),
         out.report.host_seconds,
-        gate_decision(threads, &out.replay),
+        gate,
         out.replay.recorded_probes,
         out.replay.elided_probes,
         out.replay.elision(),
@@ -354,23 +379,28 @@ fn main() {
     } else {
         let (family, scale, csr) = graphs.first().expect("at least one graph");
         eprintln!("{family} scale {scale}: re-running under the race sanitizer...");
-        let out = run_bfs(
-            csr,
-            csr.max_degree().0,
-            *args.threads.last().expect("nonempty"),
-            None,
-            true,
-        );
+        let threads = *args.threads.last().expect("nonempty");
+        let out = run_bfs(csr, csr.max_degree().0, threads, None, true);
         let hazards = out.report.hazards.len();
         if hazards != 0 {
             eprintln!("FAIL: sanitizer flagged {hazards} hazards on the BFS sweep");
             failed = true;
         }
         println!("{family:<6} 2^{scale} sanitize  {hazards} hazards");
+        // the full telemetry row rides along, so the sanitized run's gate
+        // and replay counters are auditable like any sweep row
         format!(
-            ",\n  \"sanitize\": {{\"family\": \"{family}\", \"scale\": {scale}, \
-             \"hazards\": {hazards}, \"clean\": {}}}",
-            hazards == 0
+            ",\n  \"sanitize\": {{\"hazards\": {hazards}, \"clean\": {}, \"row\": {}}}",
+            hazards == 0,
+            row_json(
+                family,
+                *scale,
+                csr,
+                threads,
+                &out,
+                out.report.host_seconds,
+                true
+            )
         )
     };
 

@@ -94,6 +94,7 @@ impl AccessRecorder {
             sh.access(AccessKind::Write, chunk, STATE_ELEM_BYTES);
         }
         for chunk in self.dirty.chunks(warp) {
+            // dirty: pass-through flush — each address was individually justified at its write_dirty recording site
             sh.access_dirty(chunk, STATE_ELEM_BYTES);
         }
         for chunk in self.atomics.chunks(warp) {

@@ -55,7 +55,7 @@ impl App for Bfs {
         rec.read(self.dist.addr(neighbor as usize));
         if self.dist[neighbor as usize] == -1 {
             self.dist[neighbor as usize] = self.level + 1;
-            // every racing parent stores the same level — §7.2 dirty write
+            // dirty: every racing parent stores the same level — §7.2 benign write-write race
             rec.write_dirty(self.dist.addr(neighbor as usize));
             true
         } else {
@@ -87,7 +87,7 @@ impl App for Bfs {
         _in_neighbor: NodeId,
         rec: &mut AccessRecorder,
     ) -> PullStep {
-        // any frontier parent gives the same distance — claim on the first
+        // dirty: any frontier parent gives the same distance — claim on the first
         self.dist[node as usize] = self.level + 1;
         rec.write_dirty(self.dist.addr(node as usize));
         PullStep::Claim

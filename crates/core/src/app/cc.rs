@@ -83,8 +83,8 @@ impl App for Cc {
         rec.read(self.label.addr(v));
         if self.label[v] < self.label[u] {
             // plain min — this lane owns `node`, but other SMs may read
-            // label[u] as an in-neighbor concurrently; the monotone min
-            // converges either way (§7.2 dirty write)
+            // label[u] as an in-neighbor concurrently.
+            // dirty: the monotone min converges either way (§7.2)
             self.label[u] = self.label[v];
             rec.write_dirty(self.label.addr(u));
             PullStep::Update

@@ -134,7 +134,7 @@ impl App for Mis {
                     );
                     if pf > pn || (pf == pn && frontier > neighbor) {
                         self.beaten[n] = 1;
-                        // racing contestants all store 1 — §7.2 dirty write
+                        // dirty: racing contestants all store 1 — §7.2 benign write-write race
                         rec.write_dirty(self.beaten.addr(n));
                     }
                 }

@@ -392,8 +392,8 @@ pub fn charge_bitmap_build(k: &mut Kernel<'_>, fr: &BitFrontier, queue_base: u64
         for &u in chunk {
             addrs.push(fr.word_addr(u));
         }
-        // atomicOr-equivalent bit set: chunks on different SMs may land in
-        // the same 64-bit word, a benign idempotent race — dirty write
+        // dirty: atomicOr-equivalent bit set — chunks on different SMs may
+        // land in the same 64-bit word, a benign idempotent race
         k.access_dirty(sm, &addrs, 8);
     }
     // bits must be visible before the pull scan / contraction that follows

@@ -56,6 +56,7 @@ impl TigrEngine {
     #[must_use]
     pub fn with_split(dev: &mut Device, g: &Csr, k: u32) -> Self {
         assert!(k > 0, "split factor must be positive");
+        // sage-lint: allow(wall-clock) — host telemetry only: UDT build time is reported as host_seconds, never mixed into simulated cycles
         let t0 = Instant::now();
         let mut virtuals = Vec::new();
         let mut v_of = Vec::with_capacity(g.num_nodes());

@@ -150,6 +150,7 @@ impl MultiGpuDriver {
     pub fn run(&mut self, app: &mut dyn App, source: NodeId) -> RunReport {
         let cfg = self.cfg;
         let n_gpus = cfg.gpus;
+        // sage-lint: allow(wall-clock) — host telemetry only: reported as host_seconds, never mixed into the simulated clock or result values
         let host_start = std::time::Instant::now();
         let hazard_start: Vec<usize> = self.devices.iter().map(Device::hazard_count).collect();
         let start = self

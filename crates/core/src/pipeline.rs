@@ -147,6 +147,7 @@ impl Runner {
         source: NodeId,
     ) -> RunReport {
         let start = dev.elapsed_seconds();
+        // sage-lint: allow(wall-clock) — host telemetry only: reported as host_seconds, never mixed into the simulated clock or result values
         let host_start = std::time::Instant::now();
         let hazard_start = dev.hazard_count();
         let n = g.csr().num_nodes();

@@ -131,6 +131,7 @@ impl WalkEngine {
         assert!(total > 0, "walks_per_source must be positive");
 
         let start = dev.elapsed_seconds();
+        // sage-lint: allow(wall-clock) — host telemetry only: reported as host_seconds, never mixed into the simulated clock or result values
         let host_start = std::time::Instant::now();
         let hazard_start = dev.hazard_count();
 

@@ -1,5 +1,5 @@
 //! Race-sanitizer suite: on random power-law graphs, every engine ×
-//! {BFS, CC, PR} × {push-only, adaptive} pipeline must be hazard-free, and
+//! {BFS, CC, PR, MIS} × {push-only, adaptive} pipeline must be hazard-free, and
 //! enabling the sanitizer must never perturb the simulation — application
 //! outputs, simulated cycles, and every cache counter stay **bitwise
 //! identical** at 1 and 4 host threads. The deliberately racy fixture
@@ -7,10 +7,10 @@
 
 use gpu_sim::{Device, DeviceConfig, HazardKind};
 use proptest::prelude::*;
-use sage::app::{Bfs, Cc, PageRank};
+use sage::app::{Bfs, Cc, Mis, PageRank};
 use sage::engine::{
-    B40cEngine, Engine, GunrockEngine, NaiveEngine, ResidentEngine, SubwayEngine, TigrEngine,
-    TiledPartitioningEngine,
+    B40cEngine, Engine, GunrockEngine, NaiveEngine, ResidentEngine, SpmvEngine, SubwayEngine,
+    TigrEngine, TiledPartitioningEngine,
 };
 use sage::{DeviceGraph, Runner};
 use sage_graph::gen::{social_graph, SocialParams};
@@ -45,7 +45,7 @@ struct Entry {
     out_of_core: bool,
 }
 
-/// All seven engines. Stateful ones get a fresh instance per run.
+/// All eight engines. Stateful ones get a fresh instance per run.
 fn roster() -> Vec<Entry> {
     vec![
         Entry {
@@ -89,6 +89,11 @@ fn roster() -> Vec<Entry> {
             make: |dev, csr| Box::new(SubwayEngine::new(dev, csr.num_edges())),
             out_of_core: true,
         },
+        Entry {
+            name: "spmv",
+            make: |_, _| Box::new(SpmvEngine::new()),
+            out_of_core: false,
+        },
     ]
 }
 
@@ -97,15 +102,17 @@ enum AppSel {
     Bfs,
     Cc,
     Pr,
+    Mis,
 }
 
-const APPS: [AppSel; 3] = [AppSel::Bfs, AppSel::Cc, AppSel::Pr];
+const APPS: [AppSel; 4] = [AppSel::Bfs, AppSel::Cc, AppSel::Pr, AppSel::Mis];
 
 fn app_name(app: AppSel) -> &'static str {
     match app {
         AppSel::Bfs => "bfs",
         AppSel::Cc => "cc",
         AppSel::Pr => "pr",
+        AppSel::Mis => "mis",
     }
 }
 
@@ -163,6 +170,11 @@ fn run_once(
             let mut a = PageRank::new(&mut dev, 6, 0.0);
             let r = runner.run(&mut dev, &dg, engine.as_mut(), &mut a, 0);
             (r, a.ranks().iter().map(|p| p.to_bits()).collect())
+        }
+        AppSel::Mis => {
+            let mut a = Mis::new(&mut dev);
+            let r = runner.run(&mut dev, &dg, engine.as_mut(), &mut a, 0);
+            (r, a.members())
         }
     };
     let cycles = dev.elapsed_cycles();

@@ -1,0 +1,21 @@
+//! Allowlist fixture: a justified marker suppresses exactly one
+//! diagnostic — this file must produce none.
+
+use std::collections::HashMap;
+
+pub struct Ranked {
+    scores: HashMap<u32, u64>,
+}
+
+impl Ranked {
+    pub fn top(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .scores
+            // sage-lint: allow(hash-iter) — collected then fully sorted below
+            .iter()
+            .map(|(&k, &s)| (k, s))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}

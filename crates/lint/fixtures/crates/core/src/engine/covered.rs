@@ -1,0 +1,14 @@
+//! An engine the fixture sanitize matrix does exercise — no diagnostic.
+
+use super::orphan::Engine;
+
+pub struct CoveredEngine {
+    rounds: u32,
+}
+
+impl Engine for CoveredEngine {
+    fn advance(&mut self, frontier: &[u32]) -> Vec<u32> {
+        self.rounds += 1;
+        frontier.to_vec()
+    }
+}

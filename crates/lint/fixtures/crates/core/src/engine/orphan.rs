@@ -1,0 +1,17 @@
+//! An engine missing from the sanitize matrix.
+
+pub trait Engine {
+    fn advance(&mut self, frontier: &[u32]) -> Vec<u32>;
+}
+
+pub struct OrphanEngine {
+    rounds: u32,
+}
+
+impl Engine for OrphanEngine {
+    //~^ sanitize-coverage
+    fn advance(&mut self, frontier: &[u32]) -> Vec<u32> {
+        self.rounds += 1;
+        frontier.to_vec()
+    }
+}

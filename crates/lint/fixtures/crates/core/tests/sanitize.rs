@@ -1,0 +1,14 @@
+//! Fixture sanitize matrix: references the covered types so
+//! `sanitize-coverage` can distinguish them from the orphans. Coverage is
+//! detected over identifier tokens, exactly as in the real matrix where
+//! the roster instantiates each engine/app type by name.
+
+use fixture_core::app::goodapp::GoodApp;
+use fixture_core::engine::covered::CoveredEngine;
+
+#[test]
+fn matrix() {
+    let app = GoodApp::default();
+    let engine = CoveredEngine::default();
+    run_matrix(app, engine);
+}

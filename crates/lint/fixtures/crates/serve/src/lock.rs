@@ -1,0 +1,31 @@
+//! lock-poison fixture: bare `lock().unwrap()` in the serve layer.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Slot {
+    inner: Mutex<u64>,
+}
+
+impl Slot {
+    pub fn publish(&self, value: u64) {
+        *self.inner.lock().unwrap() = value; //~ lock-poison
+    }
+
+    pub fn read_recovering(&self) -> u64 {
+        // poison recovery: one panicked worker must not cascade
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let s = Slot {
+            inner: Mutex::new(0),
+        };
+        assert_eq!(*s.inner.lock().unwrap(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! replay-join fixture: a miniature `Device` with one replay-folded field.
+//! `ReplayDone::apply` marks `charge` as a fold applier; `charge` touches
+//! `self.profiler`, so `profiler` is replay-folded. `bad_read` touches it
+//! without a join; `good_read` joins first; `unrelated` touches only
+//! non-folded state.
+
+pub struct Device {
+    profiler: u64,
+    pending: Option<u32>,
+    name: String,
+}
+
+pub struct ReplayDone {
+    cycles: u64,
+}
+
+impl ReplayDone {
+    pub fn apply(self, dev: &mut Device) {
+        dev.charge(self.cycles);
+    }
+}
+
+impl Device {
+    pub(crate) fn charge(&mut self, cycles: u64) {
+        self.profiler += cycles;
+    }
+
+    pub(crate) fn sync_replay(&mut self) {
+        self.pending = None;
+    }
+
+    pub fn bad_read(&self) -> u64 {
+        self.profiler //~ replay-join
+    }
+
+    pub fn conditional_join(&mut self) -> u64 {
+        if self.pending.is_some() {
+            self.sync_replay();
+        }
+        self.profiler //~ replay-join
+    }
+
+    pub fn good_read(&mut self) -> u64 {
+        self.sync_replay();
+        self.profiler
+    }
+
+    pub fn unrelated(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,394 @@
+//! A minimal, line-aware Rust lexer.
+//!
+//! The workspace bans network dependencies, so `sage-lint` cannot pull in
+//! `syn`/`proc-macro2`. This lexer produces just enough structure for the
+//! rule passes: a flat token stream (identifiers, single-char punctuation,
+//! literals) with 1-based line numbers, plus the comment stream kept
+//! separately so allowlist markers and `dirty:` justifications can be
+//! matched against diagnostic lines. It understands the lexical edge cases
+//! that would otherwise desynchronise a naive scanner: nested block
+//! comments, raw strings (`r#"…"#`), byte/raw-byte strings, raw
+//! identifiers (`r#type`), char literals vs. lifetimes, and numeric
+//! literals containing `.` (so `0..n` still yields two dots).
+
+/// Classification of a [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers, lifetimes).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// String/char/numeric literal (text is the raw literal source).
+    Lit,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Raw source text of the token (one char for punctuation).
+    pub text: String,
+    /// Token classification.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its source span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order, kept out of the token stream.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unknown bytes are
+/// skipped (the rustc-accepted subset this repo uses lexes cleanly).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start_line = line;
+                let mut j = i + 2;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[i + 2..j].iter().collect();
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: start_line,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start_line = line;
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                let body_start = j;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = j.saturating_sub(2).max(body_start);
+                let text: String = chars[body_start..body_end].iter().collect();
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Raw identifiers and raw / byte strings.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            // br"…" / br#"…"#
+            let (pfx_len, raw) = if c == 'b' && chars[i + 1] == 'r' {
+                (2, true)
+            } else if c == 'r' {
+                (1, true)
+            } else if c == 'b' && chars[i + 1] == '"' {
+                (1, false)
+            } else {
+                (0, false)
+            };
+            if pfx_len > 0 {
+                let j = i + pfx_len;
+                if raw && j < n && chars[j] == '#' && j + 1 < n && is_ident_start(chars[j + 1]) {
+                    // raw identifier r#type
+                    let mut k = j + 1;
+                    while k < n && is_ident_cont(chars[k]) {
+                        k += 1;
+                    }
+                    out.toks.push(Tok {
+                        text: chars[j + 1..k].iter().collect(),
+                        kind: TokKind::Ident,
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                let mut hashes = 0usize;
+                let mut k = j;
+                while raw && k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' && (raw || hashes == 0) {
+                    // consume until closing quote followed by `hashes` #'s
+                    let start_line = line;
+                    let mut m = k + 1;
+                    loop {
+                        if m >= n {
+                            break;
+                        }
+                        if chars[m] == '\n' {
+                            line += 1;
+                            m += 1;
+                            continue;
+                        }
+                        if !raw && chars[m] == '\\' {
+                            m += 2;
+                            continue;
+                        }
+                        if chars[m] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && m + 1 + h < n && chars[m + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                m += 1 + hashes;
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    out.toks.push(Tok {
+                        text: String::from(if raw { "\"raw\"" } else { "\"str\"" }),
+                        kind: TokKind::Lit,
+                        line: start_line,
+                    });
+                    i = m;
+                    continue;
+                }
+                // plain identifier starting with r/b — fall through
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: String::from("\"str\""),
+                kind: TokKind::Lit,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // lifetime: 'ident not followed by closing quote
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' {
+                    // char literal like 'a'
+                    out.toks.push(Tok {
+                        text: String::from("'c'"),
+                        kind: TokKind::Lit,
+                        line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                // lifetime
+                out.toks.push(Tok {
+                    text: chars[i..j].iter().collect(),
+                    kind: TokKind::Ident,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // escaped or punctuation char literal: '\n', '\'', '\\', '.'
+            let mut j = i + 1;
+            if j < n && chars[j] == '\\' {
+                j += 2;
+                // \x7f / \u{…}
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && chars[j] == '\'' {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: String::from("'c'"),
+                kind: TokKind::Lit,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            if c == '0' && j < n && (chars[j] == 'x' || chars[j] == 'b' || chars[j] == 'o') {
+                j += 1;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+                // fraction: only if `.` is followed by a digit (so `0..n` and
+                // `1.max(2)` leave the dot alone)
+                if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                // exponent
+                if j < n && (chars[j] == 'e' || chars[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < n && (chars[k] == '+' || chars[k] == '-') {
+                        k += 1;
+                    }
+                    if k < n && chars[k].is_ascii_digit() {
+                        j = k;
+                        while j < n && chars[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                // suffix (u32, f64, usize)
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                text: chars[start..j].iter().collect(),
+                kind: TokKind::Lit,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: chars[start..j].iter().collect(),
+                kind: TokKind::Ident,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.toks.push(Tok {
+            text: c.to_string(),
+            kind: TokKind::Punct,
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts("1.5f64"), vec!["1.5f64"]);
+        assert_eq!(texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(texts("&'a str"), vec!["&", "'a", "str"]);
+        assert_eq!(texts("'x'"), vec!["'c'"]);
+        assert_eq!(texts("'\\n'"), vec!["'c'"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("a /* x /* y */ z */ b\nc");
+        let t: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, vec!["a", "b", "c"]);
+        assert_eq!(l.toks[2].line, 2);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_idents() {
+        assert_eq!(texts("r#\"has \"quote\" inside\"# x"), vec!["\"raw\"", "x"]);
+        assert_eq!(texts("r#type"), vec!["type"]);
+        assert_eq!(texts("b\"bytes\" y"), vec!["\"str\"", "y"]);
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let l = lex("// sage marker here\nfn f() {}");
+        assert_eq!(l.comments[0].text.trim(), "sage marker here");
+        assert_eq!(l.comments[0].line, 1);
+    }
+}

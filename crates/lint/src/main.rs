@@ -1,0 +1,56 @@
+//! CLI for `sage-lint`.
+//!
+//! ```text
+//! sage-lint --workspace        # lint the workspace rooted at cwd
+//! sage-lint <dir>              # lint any root containing crates/ (fixtures)
+//! ```
+//!
+//! Exit code 0 when the tree is clean (after allowlist suppression),
+//! 1 when any diagnostic survives.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => root = Some(PathBuf::from(".")),
+            "--help" | "-h" => {
+                println!("usage: sage-lint --workspace | sage-lint <root-dir>");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("sage-lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(root) = root else {
+        eprintln!("usage: sage-lint --workspace | sage-lint <root-dir>");
+        return ExitCode::FAILURE;
+    };
+    let report = match sage_lint::run_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sage-lint: {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diags {
+        println!("{}", d.render());
+    }
+    println!(
+        "sage-lint: {} file(s), {} violation(s), {} suppressed by {} allow marker(s)",
+        report.files,
+        report.diags.len(),
+        report.suppressed,
+        report.markers.len()
+    );
+    if report.diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

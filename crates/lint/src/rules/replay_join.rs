@@ -1,0 +1,182 @@
+//! Rule `replay-join`: async-replay join discipline on `Device`.
+//!
+//! PR 8 made replay asynchronous: a background thread folds its results —
+//! caches, profiler charge, clock cycles, replay telemetry, the returned
+//! trace arena — back into the `Device` when joined. The set of
+//! *replay-folded* fields is derived mechanically, not hard-coded:
+//!
+//! 1. `ReplayDone::apply` is scanned for `dev.<method>(…)` calls — these
+//!    are the *fold appliers*.
+//! 2. Each fold applier's body (an `impl Device` method) is scanned for
+//!    `self.<field>` accesses against the `Device` struct's field list —
+//!    the union is the folded set.
+//!
+//! Every other `impl Device` method with a `self` receiver that touches a
+//! folded field must call `self.sync_replay()` at statement level before
+//! the first touch (a dominance approximation: a join at brace depth 1
+//! ahead of the access dominates every path to it). Fold appliers and
+//! `sync_replay` itself are exempt — they run under the join. Reading a
+//! folded field without the join observes half-folded pre-replay state.
+
+use crate::diag::Diag;
+use crate::scan::{body_depths, FileScan, FnItem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that establish the join barrier when called at statement level.
+const JOIN_CALLS: &[&str] = &["sync_replay", "take_replay_caches"];
+
+/// Collect `dev.<m>(` method names from `ReplayDone::apply` bodies.
+fn fold_appliers(files: &[FileScan], krate: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for f in files {
+        if f.crate_name() != Some(krate) {
+            continue;
+        }
+        for func in &f.fns {
+            if func.impl_type.as_deref() != Some("ReplayDone") || func.name != "apply" {
+                continue;
+            }
+            let Some((open, close)) = func.body else {
+                continue;
+            };
+            for i in open + 1..close.saturating_sub(2) {
+                if f.text(i) == "dev" && f.text(i + 1) == "." && f.text(i + 3) == "(" {
+                    out.insert(f.text(i + 2).to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `self.<field>` touches inside `body`, filtered to `fields`; returns
+/// `(token_index_of_field, line)` pairs in order.
+fn self_field_touches(
+    f: &FileScan,
+    body: (usize, usize),
+    fields: &BTreeSet<String>,
+) -> Vec<(usize, u32)> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    for i in open + 1..close.saturating_sub(2) {
+        if f.text(i) == "self"
+            && f.text(i + 1) == "."
+            && fields.contains(f.text(i + 2))
+            && f.text(i + 3) != "("
+        {
+            out.push((i + 2, f.toks[i + 2].line));
+        }
+    }
+    out
+}
+
+/// Whether `func` calls one of [`JOIN_CALLS`] on `self` at statement level
+/// (brace depth 1) before token index `before`.
+fn join_dominates(f: &FileScan, func: &FnItem, before: usize) -> bool {
+    let Some((open, close)) = func.body else {
+        return false;
+    };
+    let depths = body_depths(&f.toks, open, close);
+    for i in open + 1..before.min(close) {
+        if f.text(i) == "self"
+            && f.text(i + 1) == "."
+            && JOIN_CALLS.contains(&f.text(i + 2))
+            && f.text(i + 3) == "("
+            && depths.get(i - open - 1).copied() == Some(1)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the rule over all files.
+pub fn run(files: &[FileScan], diags: &mut Vec<Diag>) {
+    // Crates that define a `Device` struct (the real tree has one, the
+    // fixture tree mirrors it).
+    let mut device_crates: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        let Some(krate) = f.crate_name() else {
+            continue;
+        };
+        for s in &f.structs {
+            if s.name == "Device" && !s.fields.is_empty() {
+                device_crates
+                    .entry(krate.to_string())
+                    .or_default()
+                    .extend(s.fields.iter().map(|(n, _)| n.clone()));
+            }
+        }
+    }
+    for (krate, fields) in &device_crates {
+        let appliers = fold_appliers(files, krate);
+        if appliers.is_empty() {
+            continue;
+        }
+        // Fold appliers proper: `&mut self` Device methods `apply` calls
+        // (read-only helpers like `cfg()` mutate nothing, so the fields
+        // they touch are not folded). Their touched-field union is the
+        // folded set.
+        let mut fold_fns: BTreeSet<String> = BTreeSet::new();
+        let mut folded: BTreeSet<String> = BTreeSet::new();
+        for f in files {
+            if f.crate_name() != Some(krate.as_str()) {
+                continue;
+            }
+            for func in &f.fns {
+                if func.impl_type.as_deref() == Some("Device")
+                    && func.self_mut
+                    && appliers.contains(&func.name)
+                {
+                    fold_fns.insert(func.name.clone());
+                    if let Some(body) = func.body {
+                        folded.extend(
+                            self_field_touches(f, body, fields)
+                                .iter()
+                                .map(|&(i, _)| f.text(i).to_string()),
+                        );
+                    }
+                }
+            }
+        }
+        if folded.is_empty() {
+            continue;
+        }
+        // Check every other Device method.
+        for f in files {
+            if f.crate_name() != Some(krate.as_str()) || !f.in_src() {
+                continue;
+            }
+            for func in &f.fns {
+                if func.impl_type.as_deref() != Some("Device")
+                    || !func.has_self
+                    || func.is_test
+                    || fold_fns.contains(&func.name)
+                    || JOIN_CALLS.contains(&func.name.as_str())
+                {
+                    continue;
+                }
+                let Some(body) = func.body else {
+                    continue;
+                };
+                let touches = self_field_touches(f, body, &folded);
+                if let Some(&(first_idx, line)) = touches.first() {
+                    if !join_dominates(f, func, first_idx) {
+                        diags.push(Diag {
+                            rule: "replay-join".into(),
+                            path: f.path.clone(),
+                            line,
+                            msg: format!(
+                                "Device::{} touches replay-folded field `{}` without a \
+                                 dominating self.sync_replay() — an in-flight async replay \
+                                 would make this read observe half-folded state",
+                                func.name,
+                                f.text(first_idx)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! Item-level scanner: walks the token stream from [`crate::lexer`] and
+//! recovers the structure the rule passes need — functions (with receiver,
+//! enclosing `impl` type/trait, `#[cfg(test)]` context, and body token
+//! range), struct field lists, `impl Trait for Type` pairs, and
+//! `type X = HashMap<…>` aliases.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// Item visibility (only the distinction pub vs not matters to rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// No `pub`.
+    Private,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    PubScoped,
+    /// Plain `pub`.
+    Pub,
+}
+
+/// A scanned `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Visibility.
+    pub vis: Vis,
+    /// Whether the first parameter is (a reference to) `self`.
+    pub has_self: bool,
+    /// Whether the receiver is `&mut self` / `mut self`.
+    pub self_mut: bool,
+    /// True inside `#[cfg(test)]` modules or `#[test]` functions.
+    pub is_test: bool,
+    /// Self type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    /// Token index range of the body: `(open_brace, close_brace)`
+    /// inclusive of both braces. `None` for trait-method signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A scanned `struct` item with named fields.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Visibility.
+    pub vis: Vis,
+    /// Named field `(name, first type ident)` pairs (empty for tuple/unit).
+    pub fields: Vec<(String, String)>,
+}
+
+/// An `impl` block header: `(trait_name, self_type, line)`.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// `Some(trait)` for `impl Trait for Type`, `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// The `Type` in `impl … Type`.
+    pub self_type: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// Fully scanned source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Path relative to the lint root, with `/` separators.
+    pub path: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Comment stream.
+    pub comments: Vec<Comment>,
+    /// All functions (including nested in modules/impls).
+    pub fns: Vec<FnItem>,
+    /// All structs with named fields.
+    pub structs: Vec<StructItem>,
+    /// All impl-block headers.
+    pub impls: Vec<ImplItem>,
+    /// Names of `type X = HashMap/HashSet<…>` aliases.
+    pub hash_aliases: Vec<String>,
+    /// True for files under a `tests/` directory.
+    pub is_test_file: bool,
+}
+
+impl FileScan {
+    /// Scan a lexed file.
+    pub fn new(path: String, lexed: Lexed) -> Self {
+        let is_test_file = path.contains("/tests/");
+        let mut scan = FileScan {
+            path,
+            toks: lexed.toks,
+            comments: lexed.comments,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            impls: Vec::new(),
+            hash_aliases: Vec::new(),
+            is_test_file,
+        };
+        let end = scan.toks.len();
+        let mut items = Items {
+            toks: &scan.toks,
+            fns: &mut scan.fns,
+            structs: &mut scan.structs,
+            impls: &mut scan.impls,
+            hash_aliases: &mut scan.hash_aliases,
+        };
+        items.region(0, end, is_test_file, None);
+        scan
+    }
+
+    /// Token text at `i`, or `""` past the end.
+    pub fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    /// True if tokens starting at `i` match `pats` exactly.
+    pub fn seq(&self, i: usize, pats: &[&str]) -> bool {
+        pats.iter().enumerate().all(|(k, p)| self.text(i + k) == *p)
+    }
+
+    /// Crate name for `crates/<name>/…` paths.
+    pub fn crate_name(&self) -> Option<&str> {
+        self.path.strip_prefix("crates/")?.split('/').next()
+    }
+
+    /// True for files under `crates/<c>/src/`.
+    pub fn in_src(&self) -> bool {
+        self.path.contains("/src/")
+    }
+
+    /// True if any comment overlapping lines `[lo, hi]` contains `needle`.
+    pub fn comment_near(&self, lo: u32, hi: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= lo && c.line <= hi && c.text.contains(needle))
+    }
+}
+
+/// Brace depth of each token in `[open + 1, close)` relative to the body
+/// (first statement is depth 1). Index with `tok_index - (open + 1)`.
+pub fn body_depths(toks: &[Tok], open: usize, close: usize) -> Vec<u32> {
+    let mut depths = Vec::with_capacity(close.saturating_sub(open + 1));
+    let mut d = 1u32;
+    for t in &toks[open + 1..close] {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                depths.push(d);
+                d += 1;
+            }
+            (TokKind::Punct, "}") => {
+                d = d.saturating_sub(1);
+                depths.push(d);
+            }
+            _ => depths.push(d),
+        }
+    }
+    depths
+}
+
+/// Find the matching `}` for the `{` at `open`; returns its index (or the
+/// end of the stream if unbalanced).
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+struct Items<'a> {
+    toks: &'a [Tok],
+    fns: &'a mut Vec<FnItem>,
+    structs: &'a mut Vec<StructItem>,
+    impls: &'a mut Vec<ImplItem>,
+    hash_aliases: &'a mut Vec<String>,
+}
+
+impl Items<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    /// Skip a balanced delimiter group starting at `i` (which must be on
+    /// the opening delimiter); returns the index just past the closer.
+    fn skip_group(&self, i: usize) -> usize {
+        let (open, close) = match self.text(i) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return i + 1,
+        };
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.toks.len() {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Collect the text of an attribute `#[…]` starting at the `#`.
+    fn attr_text(&self, i: usize) -> (String, usize) {
+        let mut j = i + 1; // at '['
+        let end = self.skip_group(j);
+        let mut s = String::new();
+        j += 1;
+        while j + 1 < end {
+            s.push_str(self.text(j));
+            s.push(' ');
+            j += 1;
+        }
+        (s, end)
+    }
+
+    /// Scan items in token range `[start, end)`.
+    fn region(&mut self, start: usize, end: usize, in_test: bool, impl_type: Option<&str>) {
+        let mut i = start;
+        let mut pending_vis = Vis::Private;
+        let mut pending_attrs: Vec<String> = Vec::new();
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "#" if self.text(i + 1) == "[" => {
+                    let (attr, next) = self.attr_text(i);
+                    pending_attrs.push(attr);
+                    i = next;
+                }
+                "pub" => {
+                    pending_vis = Vis::Pub;
+                    if self.text(i + 1) == "(" {
+                        pending_vis = Vis::PubScoped;
+                        i = self.skip_group(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                "mod" if self.is_ident(i + 1) => {
+                    let attrs_test = pending_attrs
+                        .iter()
+                        .any(|a| a.contains("cfg") && a.contains("test"));
+                    let mut j = i + 2;
+                    if self.text(j) == "{" {
+                        let close = match_brace(self.toks, j);
+                        self.region(j + 1, close, in_test || attrs_test, None);
+                        i = close + 1;
+                    } else {
+                        while j < end && self.text(j) != ";" {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    }
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "impl" => {
+                    // Parse the header up to `{`: `impl<G> Trait<T> for Type<T>`
+                    // or `impl Type`. Track angle-bracket depth; record the
+                    // last depth-0 ident before/after `for`.
+                    let line = self.toks[i].line;
+                    let mut j = i + 1;
+                    let mut angle = 0i64;
+                    let mut before_for: Option<String> = None;
+                    let mut after: Option<String> = None;
+                    let mut saw_for = false;
+                    while j < end && self.text(j) != "{" {
+                        match self.text(j) {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "for" if angle == 0 => saw_for = true,
+                            "where" if angle == 0 => break,
+                            _ => {
+                                if angle == 0 && self.is_ident(j) {
+                                    let name = self.text(j).to_string();
+                                    if saw_for {
+                                        after.get_or_insert(name);
+                                    } else {
+                                        before_for = Some(name);
+                                    }
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    let (trait_name, self_type) = if saw_for {
+                        (before_for, after.unwrap_or_default())
+                    } else {
+                        (None, before_for.unwrap_or_default())
+                    };
+                    if !self_type.is_empty() {
+                        self.impls.push(ImplItem {
+                            trait_name,
+                            self_type: self_type.clone(),
+                            line,
+                        });
+                    }
+                    if self.text(j) == "{" {
+                        let close = match_brace(self.toks, j);
+                        let ty = if self_type.is_empty() {
+                            None
+                        } else {
+                            Some(self_type)
+                        };
+                        self.region(j + 1, close, in_test, ty.as_deref());
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "trait" if self.is_ident(i + 1) => {
+                    let name = self.text(i + 1).to_string();
+                    let mut j = i + 2;
+                    while j < end && self.text(j) != "{" && self.text(j) != ";" {
+                        j += 1;
+                    }
+                    if self.text(j) == "{" {
+                        let close = match_brace(self.toks, j);
+                        self.region(j + 1, close, in_test, Some(&name));
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "fn" if self.is_ident(i + 1) => {
+                    let name = self.text(i + 1).to_string();
+                    let line = self.toks[i].line;
+                    let attrs_test = pending_attrs.iter().any(|a| {
+                        a.starts_with("test") || (a.contains("cfg") && a.contains("test"))
+                    });
+                    // Signature: find the parameter list `(`, check for a
+                    // `self` receiver, then find the body `{` or `;`.
+                    let mut j = i + 2;
+                    let mut angle = 0i64;
+                    while j < end {
+                        match self.text(j) {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "(" if angle <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let params_end = self.skip_group(j);
+                    let mut has_self = false;
+                    let mut self_mut = false;
+                    let mut k = j + 1;
+                    while k < params_end {
+                        match self.text(k) {
+                            "&" => k += 1,
+                            "mut" => {
+                                self_mut = true;
+                                k += 1;
+                            }
+                            s if s.starts_with('\'') => k += 1,
+                            "self" => {
+                                has_self = true;
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    self_mut &= has_self;
+                    // Return type / where clause up to `{` or `;`; skip
+                    // balanced groups so closures in defaults don't confuse.
+                    let mut b = params_end;
+                    while b < end && self.text(b) != "{" && self.text(b) != ";" {
+                        if self.text(b) == "(" || self.text(b) == "[" {
+                            b = self.skip_group(b);
+                        } else {
+                            b += 1;
+                        }
+                    }
+                    let body = if self.text(b) == "{" {
+                        let close = match_brace(self.toks, b);
+                        Some((b, close))
+                    } else {
+                        None
+                    };
+                    self.fns.push(FnItem {
+                        name,
+                        line,
+                        vis: pending_vis,
+                        has_self,
+                        self_mut,
+                        is_test: in_test || attrs_test,
+                        impl_type: impl_type.map(str::to_string),
+                        body,
+                    });
+                    i = body.map_or(b + 1, |(_, close)| close + 1);
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "struct" if self.is_ident(i + 1) => {
+                    let name = self.text(i + 1).to_string();
+                    let line = self.toks[i].line;
+                    let mut j = i + 2;
+                    let mut angle = 0i64;
+                    while j < end {
+                        match self.text(j) {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "{" | ";" | "(" if angle <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let mut fields = Vec::new();
+                    if self.text(j) == "{" {
+                        let close = match_brace(self.toks, j);
+                        let mut k = j + 1;
+                        let mut depth = 0i64;
+                        while k < close {
+                            match self.text(k) {
+                                "{" | "(" | "[" if depth == 0 => {
+                                    k = self.skip_group(k);
+                                    continue;
+                                }
+                                "<" => depth += 1,
+                                ">" => depth -= 1,
+                                "#" if depth == 0 && self.text(k + 1) == "[" => {
+                                    k = self.skip_group(k + 1);
+                                    continue;
+                                }
+                                "pub" if depth == 0 => {
+                                    if self.text(k + 1) == "(" {
+                                        k = self.skip_group(k + 1);
+                                        continue;
+                                    }
+                                }
+                                _ => {
+                                    if depth == 0
+                                        && self.is_ident(k)
+                                        && self.text(k + 1) == ":"
+                                        && self.text(k + 2) != ":"
+                                    {
+                                        // first ident of the type
+                                        let mut m = k + 2;
+                                        while m < close && !self.is_ident(m) {
+                                            m += 1;
+                                        }
+                                        fields.push((
+                                            self.text(k).to_string(),
+                                            self.text(m).to_string(),
+                                        ));
+                                        // skip type to the `,` at depth 0
+                                        let mut d2 = 0i64;
+                                        let mut p = k + 2;
+                                        while p < close {
+                                            match self.text(p) {
+                                                "<" => d2 += 1,
+                                                ">" => d2 -= 1,
+                                                "(" | "[" | "{" => {
+                                                    p = self.skip_group(p);
+                                                    continue;
+                                                }
+                                                "," if d2 <= 0 => break,
+                                                _ => {}
+                                            }
+                                            p += 1;
+                                        }
+                                        k = p;
+                                    }
+                                }
+                            }
+                            k += 1;
+                        }
+                        i = close + 1;
+                    } else if self.text(j) == "(" {
+                        i = self.skip_group(j);
+                        while i < end && self.text(i) != ";" {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    self.structs.push(StructItem {
+                        name,
+                        line,
+                        vis: pending_vis,
+                        fields,
+                    });
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "enum" | "union" if self.is_ident(i + 1) => {
+                    let mut j = i + 2;
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    i = if self.text(j) == "{" {
+                        match_brace(self.toks, j) + 1
+                    } else {
+                        j + 1
+                    };
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "type" if self.is_ident(i + 1) => {
+                    let name = self.text(i + 1).to_string();
+                    let mut j = i + 2;
+                    let mut is_hash = false;
+                    while j < end && self.text(j) != ";" {
+                        if self.text(j) == "HashMap" || self.text(j) == "HashSet" {
+                            is_hash = true;
+                        }
+                        j += 1;
+                    }
+                    if is_hash {
+                        self.hash_aliases.push(name);
+                    }
+                    i = j + 1;
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "use" | "const" | "static" | "extern" => {
+                    let mut j = i + 1;
+                    while j < end && self.text(j) != ";" {
+                        if self.text(j) == "{" || self.text(j) == "(" || self.text(j) == "[" {
+                            j = self.skip_group(j);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    i = j + 1;
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "macro_rules" => {
+                    let mut j = i + 1;
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    i = if self.text(j) == "{" {
+                        match_brace(self.toks, j) + 1
+                    } else {
+                        j + 1
+                    };
+                    pending_vis = Vis::Private;
+                    pending_attrs.clear();
+                }
+                "{" => {
+                    // stray block at item level — skip defensively
+                    i = match_brace(self.toks, i) + 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> FileScan {
+        FileScan::new("crates/x/src/lib.rs".into(), lex(src))
+    }
+
+    #[test]
+    fn fn_receiver_and_impl_type() {
+        let s = scan("impl Device { pub fn go(&mut self) -> u64 { self.x } fn free(n: u32) {} }");
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns[0].has_self);
+        assert_eq!(s.fns[0].impl_type.as_deref(), Some("Device"));
+        assert_eq!(s.fns[0].vis, Vis::Pub);
+        assert!(!s.fns[1].has_self);
+    }
+
+    #[test]
+    fn trait_impl_pair() {
+        let s = scan("impl Engine for NaiveEngine { fn run(&self) {} }");
+        assert_eq!(s.impls[0].trait_name.as_deref(), Some("Engine"));
+        assert_eq!(s.impls[0].self_type, "NaiveEngine");
+    }
+
+    #[test]
+    fn generic_impl_for() {
+        let s = scan("impl<'a, T: Clone> Iterator for Walker<'a, T> { fn next(&mut self) {} }");
+        assert_eq!(s.impls[0].trait_name.as_deref(), Some("Iterator"));
+        assert_eq!(s.impls[0].self_type, "Walker");
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns() {
+        let s = scan("#[cfg(test)] mod tests { fn helper() {} #[test] fn t() {} } fn real() {}");
+        assert!(s.fns[0].is_test);
+        assert!(s.fns[1].is_test);
+        assert!(!s.fns[2].is_test);
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let s = scan("pub struct D { pub l1: Cache, kernel_times: HashMap<String, u64>, n: u32 }");
+        let f = &s.structs[0].fields;
+        assert_eq!(f[0], ("l1".to_string(), "Cache".to_string()));
+        assert_eq!(f[1], ("kernel_times".to_string(), "HashMap".to_string()));
+        assert_eq!(f[2], ("n".to_string(), "u32".to_string()));
+    }
+
+    #[test]
+    fn hash_alias_detected() {
+        let s = scan("type FlaggedMap = HashMap<u64, (u32, u32)>; type Other = Vec<u8>;");
+        assert_eq!(s.hash_aliases, vec!["FlaggedMap"]);
+    }
+
+    #[test]
+    fn body_depth_tracks_statement_level() {
+        let s = scan("fn f(&self) { a(); if x { b(); } c(); }");
+        let (open, close) = s.fns[0].body.unwrap();
+        let d = body_depths(&s.toks, open, close);
+        // first token `a` is depth 1; `b` inside the if is depth 2
+        let a_idx = (open + 1..close).find(|&i| s.text(i) == "a").unwrap();
+        let b_idx = (open + 1..close).find(|&i| s.text(i) == "b").unwrap();
+        assert_eq!(d[a_idx - open - 1], 1);
+        assert_eq!(d[b_idx - open - 1], 2);
+    }
+}

@@ -13,7 +13,7 @@ use crate::types::{AppKind, GraphId, ResultValues};
 use sage_graph::NodeId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Full cache key of one result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,7 +73,7 @@ impl ResultCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(key) {
@@ -95,12 +95,13 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.clock += 1;
         let clock = inner.clock;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
             if let Some(oldest) = inner
                 .map
+                // sage-lint: allow(hash-iter) — min_by_key over strictly increasing `touched` clocks picks a unique entry, so visit order cannot affect which key is evicted
                 .iter()
                 .min_by_key(|(_, e)| e.touched)
                 .map(|(k, _)| *k)
@@ -122,7 +123,7 @@ impl ResultCache {
     /// Drop every entry of `graph` older than `epoch` (housekeeping; epoch
     /// keying already makes them unreachable through [`ResultCache::get`]).
     pub fn sweep_stale(&self, graph: GraphId, epoch: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let before = inner.map.len();
         inner
             .map
@@ -134,7 +135,11 @@ impl ResultCache {
     /// Entries currently held.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
     }
 
     /// True when no entries are held.

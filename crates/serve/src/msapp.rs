@@ -127,7 +127,7 @@ impl App for MsBfs {
         // atomicOr on the masks; one write per newly reached (node, source)
         self.visited[v] |= fresh;
         rec.atomic(self.visited.addr(v));
-        // idempotent OR / same-level store: concurrent SMs may hit the same
+        // dirty: idempotent OR — concurrent SMs may hit the same mask
         // word, but every winner writes the same value (§7.2 benign race)
         self.next_mask[v] |= fresh;
         rec.write_dirty(self.next_mask.addr(v));
@@ -135,6 +135,7 @@ impl App for MsBfs {
         while bits != 0 {
             let j = bits.trailing_zeros() as usize;
             bits &= bits - 1;
+            // dirty: same-level store — racing parents at one BFS level all write level+1
             self.dist[v * k + j] = self.level + 1;
             rec.write_dirty(self.dist.addr(v * k + j));
         }
@@ -285,7 +286,7 @@ impl App for MsSssp {
         if improved == 0 {
             return false;
         }
-        // idempotent OR into the shared mask word (§7.2 benign race)
+        // dirty: idempotent OR into the shared mask word (§7.2 benign race)
         self.next_mask[v] |= improved;
         rec.write_dirty(self.next_mask.addr(v));
         true

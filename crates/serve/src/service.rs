@@ -268,6 +268,7 @@ impl SageService {
             device_profiles: self
                 .profiles
                 .iter()
+                // sage-lint: allow(lock-poison) — poison here means a worker died publishing telemetry; a loud panic beats silently serving stale stats
                 .map(|slot| slot.lock().unwrap().clone())
                 .collect(),
             hazards: self
@@ -278,6 +279,7 @@ impl SageService {
             device_replay: self
                 .replay_slots
                 .iter()
+                // sage-lint: allow(lock-poison) — poison here means a worker died publishing telemetry; a loud panic beats silently serving stale stats
                 .map(|slot| slot.lock().unwrap().clone())
                 .collect(),
         }

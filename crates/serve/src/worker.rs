@@ -17,7 +17,7 @@ use sage::{LatencyBreakdown, RunReport, SageRuntime};
 use sage_graph::{Csr, NodeId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 /// A registered graph, shared by the service front end and every worker.
@@ -105,8 +105,19 @@ impl Worker {
         };
         while let Some(batch) = queue.pop_batch(self.id, limits) {
             self.process_batch(batch);
-            *self.slots.profile.lock().unwrap() = self.dev.profiler_snapshot();
-            *self.slots.replay.lock().unwrap() = self.dev.replay_stats().clone();
+            // A sibling worker panicking mid-publish must not take this
+            // worker's telemetry slot down with it: recover the poisoned
+            // guard and overwrite with a fresh, fully consistent snapshot.
+            *self
+                .slots
+                .profile
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = self.dev.profiler_snapshot();
+            *self
+                .slots
+                .replay
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = self.dev.replay_stats().clone();
             self.slots
                 .hazards
                 .store(self.dev.hazard_count() as u64, Ordering::Release);

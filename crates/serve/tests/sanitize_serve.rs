@@ -3,8 +3,10 @@
 //! runtime's reordering rounds) across a batched workload reports zero
 //! hazards.
 
+use gpu_sim::{Device, DeviceConfig};
+use sage::SageRuntime;
 use sage_graph::gen::uniform_graph;
-use sage_serve::{AppKind, QueryRequest, SageService, ServiceConfig};
+use sage_serve::{AppKind, MsBfs, MsSssp, QueryRequest, SageService, ServiceConfig};
 
 fn sanitized_service(devices: usize) -> SageService {
     let cfg = ServiceConfig {
@@ -49,4 +51,45 @@ fn each_app_kind_is_hazard_free_under_sanitizer() {
         service.shutdown();
         assert_eq!(hazards, 0, "{app} left hazards on the device ledger");
     }
+}
+
+/// The fused multi-source apps exercised directly (not through the service
+/// batcher): their interleaved per-source mask/distance writes must be
+/// hazard-free under the sanitizer.
+#[test]
+fn fused_multi_source_apps_hazard_free_under_sanitizer() {
+    let cfg = DeviceConfig {
+        num_sms: 8,
+        sanitize: true,
+        ..DeviceConfig::test_tiny()
+    };
+    let csr = uniform_graph(300, 2400, 13);
+    let sources = [0u32, 17, 42, 99];
+
+    let mut dev = Device::new(cfg.clone());
+    let mut rt = SageRuntime::new(&mut dev, csr.clone());
+    let mut bfs = MsBfs::new(&mut dev, &sources);
+    let report = rt.run(&mut dev, &mut bfs, sources[0]);
+    assert!(
+        report.hazards.is_empty(),
+        "MsBfs flagged: {:?}",
+        report.hazards
+    );
+    for (j, &s) in sources.iter().enumerate() {
+        assert_eq!(bfs.distances_for(j)[s as usize], 0, "source {s} depth");
+    }
+
+    let mut dev = Device::new(cfg);
+    let mut rt = SageRuntime::new(&mut dev, csr);
+    let mut sssp = MsSssp::new(&mut dev, &sources);
+    let report = rt.run(&mut dev, &mut sssp, sources[0]);
+    assert!(
+        report.hazards.is_empty(),
+        "MsSssp flagged: {:?}",
+        report.hazards
+    );
+    for (j, &s) in sources.iter().enumerate() {
+        assert_eq!(sssp.distances_for(j)[s as usize], 0, "source {s} dist");
+    }
+    assert_eq!(dev.hazard_count(), 0, "device-level ledger agrees");
 }

@@ -193,6 +193,7 @@ impl<'d> Kernel<'d> {
             host_requests: 0,
             trace,
             shadow,
+            // sage-lint: allow(wall-clock) — host-side telemetry only: measures real replay cost, never feeds simulated cycles or RunReport determinism
             started: Instant::now(),
         }
     }

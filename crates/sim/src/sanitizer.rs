@@ -294,6 +294,7 @@ impl ShadowTracker {
     /// contiguous words carrying an identical conflict into ranged hazards.
     pub(crate) fn finish(self, kernel: &str) -> Vec<Hazard> {
         let mut flagged: Vec<(u64, (HazardKind, HazardParty, HazardParty))> =
+            // sage-lint: allow(hash-iter) — drained once into a Vec that the next line sorts by word address, restoring a deterministic order
             self.flagged.into_iter().collect();
         flagged.sort_unstable_by_key(|&(w, _)| w);
         let mut out: Vec<Hazard> = Vec::new();
